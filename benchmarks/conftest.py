@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+rows it produced, so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+results report.  The workload size is controlled by the ``REPRO_BENCH_PROFILE``
+environment variable (``smoke`` / ``fast`` / ``full``; default ``fast``).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_profile
+
+
+def pytest_report_header(config):
+    profile = get_profile()
+    return (
+        f"repro benchmark profile: {profile.name} "
+        f"(scenario_scale={profile.scenario_scale}, "
+        f"eval_negatives={profile.eval_negatives}, cdrib_epochs={profile.cdrib.epochs})"
+    )
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile every benchmark runs under."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def strict_shapes(profile):
+    """Whether to enforce the paper-shape assertions.
+
+    The smoke profile trains for a handful of epochs purely to exercise the
+    harness, so only schema checks are enforced there; the fast / full
+    profiles also check the qualitative shapes reported by the paper.
+    """
+    return profile.name != "smoke"
+
+
+@pytest.fixture(scope="session")
+def bench_scenarios():
+    """Scenario names to benchmark; override with REPRO_BENCH_SCENARIOS=a,b."""
+    raw = os.environ.get("REPRO_BENCH_SCENARIOS", "")
+    if raw.strip():
+        return [name.strip() for name in raw.split(",") if name.strip()]
+    return ["music_movie", "phone_elec", "cloth_sport", "game_video"]

@@ -1,0 +1,39 @@
+"""Benchmark E6 — Figure 5: effect of the Lagrangian multiplier beta.
+
+Paper shape to reproduce: performance varies smoothly with beta in
+{0.5, 1.0, 1.5, 2.0}; no setting collapses to random, and denser scenarios
+prefer smaller beta values.  The bench prints the NDCG@10 / HR@10 series the
+figure plots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_rows, run_beta_sweep
+
+_COLUMNS = ["beta", "direction", "MRR", "NDCG@10", "HR@10"]
+_BETAS = (0.5, 1.0, 1.5, 2.0)
+
+
+def test_figure5_beta_sweep(benchmark, profile, bench_scenarios, strict_shapes):
+    scenario_name = bench_scenarios[0]
+    rows = benchmark.pedantic(
+        run_beta_sweep, args=(scenario_name,),
+        kwargs={"betas": _BETAS, "profile": profile},
+        rounds=1, iterations=1,
+    )
+    print(f"\n=== Figure 5: beta sweep on {scenario_name} ===")
+    print(format_rows(rows, _COLUMNS))
+
+    betas = sorted({row["beta"] for row in rows})
+    assert betas == sorted(_BETAS)
+
+    series = {beta: float(np.mean([row["MRR"] for row in rows if row["beta"] == beta]))
+              for beta in betas}
+    print("mean MRR per beta:", {k: round(v, 2) for k, v in series.items()})
+    if strict_shapes:
+        # Shape: every beta setting keeps learning something (MRR above the
+        # ~1/negatives random floor).
+        random_floor = 100.0 / profile.eval_negatives * 0.5
+        for beta, value in series.items():
+            assert value > random_floor, f"beta={beta} collapsed to random: {series}"

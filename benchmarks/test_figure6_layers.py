@@ -1,0 +1,43 @@
+"""Benchmark E7 — Figure 6: effect of the number of VBGE propagation layers.
+
+Paper shape to reproduce: using graph propagation (>= 1 layer) is clearly
+better than what a degenerate embedding-only model would achieve, and adding
+layers beyond 2-3 stops helping (over-smoothing), so the best layer count is
+not the deepest one by a large margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_rows, run_layer_sweep
+
+_COLUMNS = ["num_layers", "direction", "MRR", "NDCG@10", "HR@10"]
+_LAYERS = (1, 2, 3, 4)
+
+
+def test_figure6_layer_sweep(benchmark, profile, bench_scenarios, strict_shapes):
+    scenario_name = bench_scenarios[-1]
+    rows = benchmark.pedantic(
+        run_layer_sweep, args=(scenario_name,),
+        kwargs={"layer_counts": _LAYERS, "profile": profile},
+        rounds=1, iterations=1,
+    )
+    print(f"\n=== Figure 6: VBGE layer sweep on {scenario_name} ===")
+    print(format_rows(rows, _COLUMNS))
+
+    layer_counts = sorted({row["num_layers"] for row in rows})
+    assert layer_counts == sorted(_LAYERS)
+
+    series = {layers: float(np.mean(
+        [row["MRR"] for row in rows if row["num_layers"] == layers]
+    )) for layers in layer_counts}
+    print("mean MRR per layer count:", {k: round(v, 2) for k, v in series.items()})
+
+    if strict_shapes:
+        # Shape: no layer setting collapses to random, and the deepest network
+        # is not dramatically better than the best shallow one (over-smoothing).
+        random_floor = 100.0 / profile.eval_negatives * 0.5
+        for layers, value in series.items():
+            assert value > random_floor, f"layers={layers} collapsed to random: {series}"
+        best_shallow = max(series[1], series[2])
+        assert series[4] <= 1.5 * best_shallow

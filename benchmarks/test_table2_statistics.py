@@ -1,0 +1,25 @@
+"""Benchmark E1 — Table II: statistics of the four CDR scenarios.
+
+Paper shape to reproduce: four scenario pairs whose domains differ in user /
+item counts, a training-overlap user pool, a held-out cold-start user pool
+whose records populate the validation and test columns, and sub-percent to
+low-percent densities after k-core filtering.
+"""
+
+from repro.experiments import format_rows, run_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, profile, bench_scenarios):
+    rows = benchmark.pedantic(
+        run_dataset_statistics, args=(bench_scenarios,), kwargs={"profile": profile},
+        rounds=1, iterations=1,
+    )
+    print("\n=== Table II: dataset statistics ===")
+    print(format_rows(rows))
+
+    assert len(rows) == 2 * len(bench_scenarios)
+    for row in rows:
+        assert row["Training"] > 0
+        assert row["#Overlap"] > 0
+        assert row["#Cold-start"] > 0
+        assert 0 < row["Density"] < 1

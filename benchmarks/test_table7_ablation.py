@@ -1,0 +1,36 @@
+"""Benchmark E3 — Table VII: ablation of the CDRIB regularizers.
+
+Paper shape to reproduce: the full model is the strongest, removing the
+contrastive regularizer (``w/o Con``) loses some quality, and additionally
+removing the in-domain IB regularizer (``w/o In-IB&Con``) loses more — i.e.
+mean MRR ordering CDRIB >= w/o Con >= w/o In-IB&Con up to small-scale noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_rows, run_ablation
+
+_COLUMNS = ["method", "direction", "MRR", "NDCG@10", "HR@10"]
+
+
+def test_table7_ablation(benchmark, profile, bench_scenarios, strict_shapes):
+    scenario_name = bench_scenarios[0]
+    rows = benchmark.pedantic(
+        run_ablation, args=(scenario_name,), kwargs={"profile": profile},
+        rounds=1, iterations=1,
+    )
+    print(f"\n=== Table VII: ablation on {scenario_name} ===")
+    print(format_rows(rows, _COLUMNS))
+
+    mean_mrr = {}
+    for variant in {row["method"] for row in rows}:
+        mean_mrr[variant] = float(np.mean(
+            [row["MRR"] for row in rows if row["method"] == variant]
+        ))
+    assert set(mean_mrr) == {"CDRIB", "w/o Con", "w/o In-IB&Con"}
+    print("mean MRR per variant:", {k: round(v, 2) for k, v in mean_mrr.items()})
+    if strict_shapes:
+        # Shape: the full model should not be clearly worse than the most
+        # stripped-down variant.
+        assert mean_mrr["CDRIB"] >= 0.85 * mean_mrr["w/o In-IB&Con"], mean_mrr

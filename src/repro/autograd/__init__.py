@@ -1,0 +1,22 @@
+"""Numpy-based reverse-mode autodiff substrate for the CDRIB reproduction."""
+
+from . import ops
+from .gradcheck import check_gradients, numerical_gradient
+from .sparse import row_normalize, sparse_matmul, symmetric_normalize
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "zeros",
+    "ones",
+    "randn",
+    "ops",
+    "sparse_matmul",
+    "row_normalize",
+    "symmetric_normalize",
+    "check_gradients",
+    "numerical_gradient",
+]

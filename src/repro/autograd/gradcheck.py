@@ -1,0 +1,62 @@
+"""Numerical gradient checking used by the test-suite.
+
+``check_gradients`` compares the analytic gradient produced by the autograd
+engine against central finite differences, which is the canonical way to
+validate a hand-written backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must return a scalar tensor.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(*inputs).item()
+        flat[i] = original - eps
+        minus = fn(*inputs).item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+    """Return True when analytic and numerical gradients agree for all inputs.
+
+    Raises ``AssertionError`` with a diagnostic message otherwise, so it can
+    be used directly inside tests.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(*inputs)
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    output.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

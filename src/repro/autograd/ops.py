@@ -1,0 +1,420 @@
+"""Differentiable operations on :class:`repro.autograd.Tensor`.
+
+Every function takes tensors (or array-likes, which are promoted to constant
+tensors) and returns a new tensor wired into the autograd graph.  The
+backward closures return one gradient per parent, in the order the parents
+were registered; broadcasting is handled centrally by the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+ArrayLike = Union[Tensor, np.ndarray, float, int, Sequence]
+
+
+def _make(data, parents, backward_fn, requires_grad=None) -> Tensor:
+    """Create a result tensor, skipping graph bookkeeping when possible."""
+    if requires_grad is None:
+        requires_grad = any(p.requires_grad or p._parents for p in parents)
+    if not is_grad_enabled() or not requires_grad:
+        return Tensor(data)
+    return Tensor(data, parents=parents, backward_fn=backward_fn)
+
+
+# --------------------------------------------------------------------------- #
+# Elementwise arithmetic
+# --------------------------------------------------------------------------- #
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise addition with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data + b.data
+    return _make(out, (a, b), lambda g: (g, g))
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise subtraction with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data - b.data
+    return _make(out, (a, b), lambda g: (g, -g))
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise multiplication with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data * b.data
+    return _make(out, (a, b), lambda g: (g * b.data, g * a.data))
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise division with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data / b.data
+    return _make(out, (a, b), lambda g: (g / b.data, -g * a.data / (b.data ** 2)))
+
+
+def neg(a: ArrayLike) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+    return _make(-a.data, (a,), lambda g: (-g,))
+
+
+def power(a: ArrayLike, exponent: float) -> Tensor:
+    """Raise ``a`` to a constant ``exponent`` elementwise."""
+    a = as_tensor(a)
+    out = a.data ** exponent
+    return _make(out, (a,), lambda g: (g * exponent * a.data ** (exponent - 1),))
+
+
+def exp(a: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out = np.exp(a.data)
+    return _make(out, (a,), lambda g: (g * out,))
+
+
+def log(a: ArrayLike, eps: float = 0.0) -> Tensor:
+    """Elementwise natural logarithm (optionally of ``a + eps``)."""
+    a = as_tensor(a)
+    shifted = a.data + eps
+    out = np.log(shifted)
+    return _make(out, (a,), lambda g: (g / shifted,))
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+    return _make(out, (a,), lambda g: (g * 0.5 / np.maximum(out, 1e-12),))
+
+
+def abs(a: ArrayLike) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value."""
+    a = as_tensor(a)
+    out = np.abs(a.data)
+    return _make(out, (a,), lambda g: (g * np.sign(a.data),))
+
+
+def clip(a: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+    a = as_tensor(a)
+    out = np.clip(a.data, low, high)
+    mask = (a.data >= low) & (a.data <= high)
+    return _make(out, (a,), lambda g: (g * mask,))
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise maximum; ties route the gradient to the first operand."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+    mask = a.data >= b.data
+    return _make(out, (a, b), lambda g: (g * mask, g * (~mask)))
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise minimum; ties route the gradient to the first operand."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.minimum(a.data, b.data)
+    mask = a.data <= b.data
+    return _make(out, (a, b), lambda g: (g * mask, g * (~mask)))
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-free logistic sigmoid used by several activations/losses."""
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    a = as_tensor(a)
+    out = _stable_sigmoid(a.data)
+    return _make(out, (a,), lambda g: (g * out * (1.0 - out),))
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+    return _make(out, (a,), lambda g: (g * (1.0 - out ** 2),))
+
+
+def relu(a: ArrayLike) -> Tensor:
+    """Rectified linear unit."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    return _make(a.data * mask, (a,), lambda g: (g * mask,))
+
+
+def leaky_relu(a: ArrayLike, negative_slope: float = 0.1) -> Tensor:
+    """LeakyReLU used by the VBGE encoder (paper fixes the slope at 0.1)."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return _make(a.data * scale, (a,), lambda g: (g * scale,))
+
+
+def softplus(a: ArrayLike) -> Tensor:
+    """Numerically stable softplus, used to produce positive std-deviations."""
+    a = as_tensor(a)
+    out = np.logaddexp(0.0, a.data)
+    sig = _stable_sigmoid(a.data)
+    return _make(out, (a,), lambda g: (g * sig,))
+
+
+def log_sigmoid(a: ArrayLike) -> Tensor:
+    """log(sigmoid(a)) computed in a numerically stable way."""
+    a = as_tensor(a)
+    out = -np.logaddexp(0.0, -a.data)
+    sig_neg = 1.0 - _stable_sigmoid(a.data)
+    return _make(out, (a,), lambda g: (g * sig_neg,))
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return _make(out, (a,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------------- #
+def sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over the given axis (or all elements)."""
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.data.shape),)
+
+    return _make(out, (a,), backward)
+
+
+def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean over the given axis (or all elements)."""
+    a = as_tensor(a)
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.data.shape[ax] for ax in axis]))
+    else:
+        count = a.data.shape[axis]
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.data.shape) / count,)
+
+    return _make(out, (a,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------------- #
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Reshape without changing data ordering."""
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+    return _make(out, (a,), lambda g: (np.asarray(g).reshape(a.data.shape),))
+
+
+def transpose(a: ArrayLike, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    """Transpose (reverse axes by default)."""
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+    return _make(out, (a,), lambda g: (np.transpose(np.asarray(g), inverse),))
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        g = np.asarray(g)
+        grads = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(index)])
+        return tuple(grads)
+
+    return _make(out, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        g = np.asarray(g)
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return _make(out, tuple(tensors), backward)
+
+
+def index_select(a: ArrayLike, index) -> Tensor:
+    """Advanced row indexing (``a[index]``) with scatter-add backward.
+
+    This is the workhorse behind embedding lookups and the per-batch
+    selection of user/item representations.
+    """
+    a = as_tensor(a)
+    out = a.data[index]
+
+    def backward(g):
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, index, np.asarray(g))
+        return (grad,)
+
+    return _make(out, (a,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Linear algebra
+# --------------------------------------------------------------------------- #
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product for 2-D operands (the only case the models need)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data @ b.data
+
+    def backward(g):
+        g = np.asarray(g)
+        return (g @ b.data.T, a.data.T @ g)
+
+    return _make(out, (a, b), backward)
+
+
+def dot_rows(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Row-wise inner product: ``(a * b).sum(axis=-1)``.
+
+    Used by the score function s(z_u, z_v) of the recommendation models.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    out = (a.data * b.data).sum(axis=-1)
+
+    def backward(g):
+        g = np.asarray(g)[..., None]
+        return (g * b.data, g * a.data)
+
+    return _make(out, (a, b), backward)
+
+
+# --------------------------------------------------------------------------- #
+# Stochastic layers
+# --------------------------------------------------------------------------- #
+def dropout(a: ArrayLike, rate: float, training: bool = True,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or rate is 0."""
+    a = as_tensor(a)
+    if not training or rate <= 0.0:
+        return _make(a.data, (a,), lambda g: (g,))
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    generator = rng if rng is not None else np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (generator.random(a.data.shape) < keep) / keep
+    return _make(a.data * mask, (a,), lambda g: (g * mask,))
+
+
+def gaussian_reparameterize(mu: ArrayLike, sigma: ArrayLike,
+                            rng: Optional[np.random.Generator] = None,
+                            noise: Optional[np.ndarray] = None) -> Tensor:
+    """Sample ``z = mu + sigma * eps`` with ``eps ~ N(0, I)`` (Eq. 4).
+
+    The reparameterisation trick keeps the sample differentiable with
+    respect to both ``mu`` and ``sigma``.
+    """
+    mu, sigma = as_tensor(mu), as_tensor(sigma)
+    if noise is None:
+        generator = rng if rng is not None else np.random.default_rng()
+        noise = generator.standard_normal(mu.data.shape)
+    out = mu.data + sigma.data * noise
+    return _make(out, (mu, sigma), lambda g: (g, np.asarray(g) * noise))
+
+
+# --------------------------------------------------------------------------- #
+# Losses / divergences
+# --------------------------------------------------------------------------- #
+def gaussian_kl(mu: ArrayLike, sigma: ArrayLike, reduce: str = "mean") -> Tensor:
+    """KL( N(mu, diag(sigma^2)) || N(0, I) ) — the minimality term (Eq. 11).
+
+    Parameters
+    ----------
+    mu, sigma:
+        Mean and standard deviation of the approximate posterior; ``sigma``
+        must be strictly positive (use :func:`softplus`).
+    reduce:
+        ``"mean"`` averages over rows, ``"sum"`` sums, ``"none"`` returns the
+        per-row KL.
+    """
+    mu, sigma = as_tensor(mu), as_tensor(sigma)
+    var = mul(sigma, sigma)
+    per_dim = add(sub(mul(mu, mu), 1.0), sub(var, log(var, eps=1e-12)))
+    per_row = mul(sum(per_dim, axis=-1), 0.5)
+    if reduce == "mean":
+        return mean(per_row)
+    if reduce == "sum":
+        return sum(per_row)
+    if reduce == "none":
+        return per_row
+    raise ValueError(f"unknown reduce mode: {reduce!r}")
+
+
+def binary_cross_entropy_with_logits(logits: ArrayLike, targets: ArrayLike,
+                                     reduce: str = "mean") -> Tensor:
+    """Stable BCE on logits; used for every reconstruction term (Eq. 13)."""
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    # loss = max(x, 0) - x * t + log(1 + exp(-|x|))
+    x = logits
+    t = targets
+    loss = add(sub(maximum(x, 0.0), mul(x, t)), softplus(neg(abs(x))))
+    if reduce == "mean":
+        return mean(loss)
+    if reduce == "sum":
+        return sum(loss)
+    if reduce == "none":
+        return loss
+    raise ValueError(f"unknown reduce mode: {reduce!r}")
+
+
+def mse_loss(prediction: ArrayLike, target: ArrayLike, reduce: str = "mean") -> Tensor:
+    """Mean squared error."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = sub(prediction, target)
+    loss = mul(diff, diff)
+    if reduce == "mean":
+        return mean(loss)
+    if reduce == "sum":
+        return sum(loss)
+    if reduce == "none":
+        return loss
+    raise ValueError(f"unknown reduce mode: {reduce!r}")

@@ -1,0 +1,80 @@
+"""Sparse-matrix support for the autograd engine.
+
+The bipartite user-item graphs used by the VBGE encoder are stored as
+``scipy.sparse`` CSR matrices.  Those matrices are *constants* of the
+computation (the adjacency structure is data, not a learnable parameter), so
+only the dense operand needs a gradient: for ``y = A @ x`` the backward pass
+is ``dL/dx = A.T @ dL/dy``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+
+def _ensure_csr(matrix: Union[sp.spmatrix, np.ndarray]) -> sp.csr_matrix:
+    if sp.issparse(matrix):
+        return matrix.tocsr()
+    return sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+
+
+def sparse_matmul(matrix: Union[sp.spmatrix, np.ndarray], dense: Tensor) -> Tensor:
+    """Compute ``matrix @ dense`` where ``matrix`` is a constant sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A scipy sparse matrix (or ndarray, converted to CSR) of shape (m, n).
+    dense:
+        A tensor of shape (n, f) that may require gradients.
+
+    Returns
+    -------
+    Tensor of shape (m, f) wired into the autograd graph.
+    """
+    matrix = _ensure_csr(matrix)
+    dense = as_tensor(dense)
+    if matrix.shape[1] != dense.shape[0]:
+        raise ValueError(
+            f"sparse_matmul shape mismatch: {matrix.shape} @ {dense.shape}"
+        )
+    out = matrix @ dense.data
+    if not is_grad_enabled() or not (dense.requires_grad or dense._parents):
+        return Tensor(out)
+    matrix_t = matrix.T.tocsr()
+
+    def backward(grad):
+        return (matrix_t @ np.asarray(grad),)
+
+    return Tensor(out, parents=(dense,), backward_fn=backward)
+
+
+def row_normalize(matrix: Union[sp.spmatrix, np.ndarray]) -> sp.csr_matrix:
+    """Return a row-normalised copy of ``matrix`` (the Norm(.) of Eq. 2/3).
+
+    Rows whose sum is zero are left as all-zeros instead of producing NaNs,
+    which matters for users/items that end up isolated after filtering.
+    """
+    matrix = _ensure_csr(matrix).astype(np.float64)
+    row_sum = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.zeros_like(row_sum)
+    nonzero = row_sum > 0
+    inverse[nonzero] = 1.0 / row_sum[nonzero]
+    scaling = sp.diags(inverse)
+    return (scaling @ matrix).tocsr()
+
+
+def symmetric_normalize(matrix: Union[sp.spmatrix, np.ndarray]) -> sp.csr_matrix:
+    """Return D^{-1/2} A D^{-1/2} used by GCN-style baselines (NGCF/PPGN)."""
+    matrix = _ensure_csr(matrix).astype(np.float64)
+    row_sum = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(row_sum)
+    nonzero = row_sum > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(row_sum[nonzero])
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ matrix @ scaling).tocsr()

@@ -1,0 +1,384 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate of the CDRIB reproduction.  The
+original paper relies on PyTorch; since no deep-learning framework is
+available in this environment we provide a small but complete autograd
+engine: a :class:`Tensor` wrapping an ``numpy.ndarray`` together with the
+graph bookkeeping needed to back-propagate gradients through arbitrary
+compositions of the operations defined in :mod:`repro.autograd.ops`.
+
+The design follows the familiar define-by-run style: every operation creates
+a new :class:`Tensor` that records its parents and a closure computing the
+local vector-Jacobian product.  Calling :meth:`Tensor.backward` performs a
+topological sort of the recorded graph and accumulates gradients into the
+``grad`` attribute of every tensor with ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+# Global switch used by ``no_grad`` to cheaply disable graph construction
+# (e.g. during evaluation).
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Mirrors ``torch.no_grad``: any tensor created inside the block does not
+    record parents, so evaluation code cannot accidentally keep the whole
+    training graph alive.
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether tensors currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Numpy broadcasting implicitly expands operands; the corresponding
+    gradient must therefore be summed over the expanded axes before being
+    accumulated into the original operand.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were of size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(data: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` by default.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    parents:
+        Tensors this value was computed from (internal use).
+    backward_fn:
+        Closure receiving the upstream gradient and returning one gradient
+        array (or ``None``) per parent (internal use).
+    name:
+        Optional human-readable label, useful when debugging graphs.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        if _GRAD_ENABLED:
+            self._parents = tuple(parents)
+            self._backward_fn = backward_fn
+        else:
+            self._parents = ()
+            self._backward_fn = None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self)
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached copy of this tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Autograd machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor through the graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ``1.0`` which is only valid for
+            scalar tensors (matching PyTorch's behaviour).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only supported "
+                    f"for scalar tensors, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+
+        order = self._topological_order()
+        grads = {id(self): grad.copy()}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate_grad(node_grad)
+            if node._backward_fn is None or not node._parents:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                pgrad = _unbroadcast(
+                    np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape
+                )
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    def _topological_order(self) -> list:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        visited = set()
+        order: list = []
+
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return list(reversed(order))
+
+    # ------------------------------------------------------------------ #
+    # Operator overloads (implemented in ops.py to avoid circular logic)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from . import ops
+
+        return ops.index_select(self, index)
+
+    # Convenience wrappers --------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None):
+        from . import ops
+
+        return ops.transpose(self, axes)
+
+    def exp(self):
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from . import ops
+
+        return ops.log(self)
+
+    def sqrt(self):
+        from . import ops
+
+        return ops.sqrt(self)
+
+    def sigmoid(self):
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def tanh(self):
+        from . import ops
+
+        return ops.tanh(self)
+
+    def clip(self, low, high):
+        from . import ops
+
+        return ops.clip(self, low, high)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """Return a tensor of zeros with the given shape."""
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """Return a tensor of ones with the given shape."""
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None, scale: float = 1.0,
+          requires_grad: bool = False) -> Tensor:
+    """Return a tensor of normal samples, optionally scaled."""
+    generator = rng if rng is not None else np.random.default_rng()
+    data = generator.standard_normal(shape) * scale
+    return Tensor(data, requires_grad=requires_grad)

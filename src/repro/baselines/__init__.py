@@ -1,0 +1,41 @@
+"""Baseline recommenders compared against CDRIB in the paper's evaluation."""
+
+from .base import BaselineConfig, BaselineRecommender, EdgeSampler
+from .deep import CoNet, STAR
+from .emcdr import EMCDR, SSCDR, TMCDR
+from .gnn import NGCF, PPGN, GraphPropagationEncoder
+from .mf import FactorizationModel, SingleDomainMF
+from .registry import (
+    ALL_BASELINES,
+    BASELINE_FACTORIES,
+    CROSS_DOMAIN_BASELINES,
+    EMCDR_FAMILY_BASELINES,
+    SINGLE_DOMAIN_BASELINES,
+    make_baseline,
+)
+from .savae import SAVAE
+from .vbge_single import VBGERecommender
+
+__all__ = [
+    "BaselineConfig",
+    "BaselineRecommender",
+    "EdgeSampler",
+    "FactorizationModel",
+    "SingleDomainMF",
+    "NGCF",
+    "PPGN",
+    "GraphPropagationEncoder",
+    "VBGERecommender",
+    "EMCDR",
+    "SSCDR",
+    "TMCDR",
+    "SAVAE",
+    "CoNet",
+    "STAR",
+    "make_baseline",
+    "BASELINE_FACTORIES",
+    "ALL_BASELINES",
+    "SINGLE_DOMAIN_BASELINES",
+    "CROSS_DOMAIN_BASELINES",
+    "EMCDR_FAMILY_BASELINES",
+]

@@ -1,0 +1,126 @@
+"""Shared infrastructure for the baseline recommenders (Section IV-B2).
+
+Every baseline implements the :class:`BaselineRecommender` interface so the
+experiment runners and the leave-one-out evaluator can treat CDRIB, its
+variants and all thirteen baselines uniformly:
+
+* ``fit(scenario)`` trains the model on a :class:`CDRScenario`;
+* ``scorer(source, target)`` returns a pairwise scoring callable for one
+  transfer direction (cold-start users indexed in the source domain, items
+  indexed in the target domain).
+
+Single-domain models are trained on the merged view of both domains (the
+paper merges all interactions into one domain for this model family); the
+:class:`MergedScorerMixin` handles the index translation from per-domain
+indices to the merged index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.sampling import NegativeSampler
+from ..data.scenario import CDRScenario, MergedView, build_merged_view
+from ..eval.protocol import Scorer
+from ..graph import BipartiteGraph
+
+
+@dataclass
+class BaselineConfig:
+    """Hyperparameters shared by the baseline recommenders."""
+
+    embedding_dim: int = 64
+    learning_rate: float = 0.02
+    weight_decay: float = 1e-5
+    batch_size: int = 256
+    num_negatives: int = 4
+    epochs: int = 40
+    num_layers: int = 2
+    dropout: float = 0.1
+    margin: float = 1.0          # CML / SSCDR hinge margin
+    mapping_epochs: int = 60     # EMCDR-family mapping-function training
+    mapping_hidden_factor: int = 2
+    meta_inner_steps: int = 3    # TMCDR
+    meta_inner_lr: float = 0.05
+    seed: int = 0
+
+    def variant(self, **overrides) -> "BaselineConfig":
+        params = {**self.__dict__, **overrides}
+        return BaselineConfig(**params)
+
+
+class BaselineRecommender:
+    """Interface every baseline implements."""
+
+    name: str = "baseline"
+
+    def fit(self, scenario: CDRScenario) -> "BaselineRecommender":
+        raise NotImplementedError
+
+    def scorer(self, source: str, target: str) -> Scorer:
+        raise NotImplementedError
+
+
+class EdgeSampler:
+    """Sample (user, positive, negatives) training triples from one graph."""
+
+    def __init__(self, graph: BipartiteGraph, batch_size: int, num_negatives: int,
+                 seed: int = 0):
+        self.graph = graph
+        self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self._rng = np.random.default_rng(seed)
+        self._neg = NegativeSampler(graph, seed=seed + 1)
+
+    def steps_per_epoch(self) -> int:
+        return max(1, int(np.ceil(self.graph.num_edges / self.batch_size)))
+
+    def sample(self) -> Optional[tuple]:
+        edges = self.graph.edges
+        if edges.shape[0] == 0:
+            return None
+        size = min(self.batch_size, edges.shape[0])
+        picks = self._rng.choice(edges.shape[0], size=size, replace=False)
+        batch = edges[picks]
+        users, positives = batch[:, 0], batch[:, 1]
+        negatives = self._neg.sample_batch(users, self.num_negatives)
+        return users, positives, negatives
+
+
+class MergedScorerMixin:
+    """Index translation for models trained on the merged single-domain view."""
+
+    def _prepare_merged(self, scenario: CDRScenario) -> MergedView:
+        self._scenario = scenario
+        self._merged = build_merged_view(scenario)
+        self._user_maps: Dict[str, np.ndarray] = {}
+        for domain in (scenario.domain_x, scenario.domain_y):
+            mapping = np.full(domain.num_users, -1, dtype=np.int64)
+            for key, idx in domain.user_index.items():
+                merged_idx = self._merged.user_index.get(key)
+                if merged_idx is not None:
+                    mapping[idx] = merged_idx
+            self._user_maps[domain.name] = mapping
+        return self._merged
+
+    def _merged_users(self, domain_name: str, users: np.ndarray) -> np.ndarray:
+        return self._user_maps[domain_name][np.asarray(users)]
+
+    def _merged_items(self, domain_name: str, items: np.ndarray) -> np.ndarray:
+        offset = (self._merged.item_offset_y
+                  if domain_name == self._scenario.domain_y.name
+                  else self._merged.item_offset_x)
+        return offset + np.asarray(items)
+
+    def make_merged_scorer(self, score_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                           source: str, target: str) -> Scorer:
+        """Wrap a merged-index scoring function into a per-domain scorer."""
+        def scorer(users: np.ndarray, items: np.ndarray) -> np.ndarray:
+            merged_users = self._merged_users(source, users)
+            merged_items = self._merged_items(target, items)
+            return score_fn(merged_users, merged_items)
+
+        return scorer

@@ -1,0 +1,268 @@
+"""Deep cross-domain baselines that transfer through shared network structure.
+
+* **CoNet** (Hu et al., 2018): two feed-forward towers (one per domain) over
+  a user embedding shared across domains, with cross-connection matrices
+  that transfer hidden activations between the towers.  Knowledge reaches a
+  cold-start user through the shared user embedding and the cross
+  connections.
+* **STAR** (Sheng et al., 2021): a star-topology network where each domain's
+  effective weights are the elementwise product of domain-specific weights
+  and globally shared weights, so every domain update also shapes the shared
+  centre.
+
+Both baselines were designed for *overlapping-user* transfer; the paper
+applies them to the cold-start setting anyway and observes they behave
+roughly like single-domain models, which is also what this reproduction
+shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..data.scenario import CDRScenario
+from ..nn import Embedding, Linear, Module, Parameter, init
+from ..optim import Adam
+from .base import BaselineConfig, BaselineRecommender, EdgeSampler
+
+
+class _SharedUserSpace:
+    """Helper building a user index shared across both domains of a scenario."""
+
+    def __init__(self, scenario: CDRScenario):
+        self.index: Dict[object, int] = {}
+        self.per_domain: Dict[str, np.ndarray] = {}
+        for domain in (scenario.domain_x, scenario.domain_y):
+            mapping = np.zeros(domain.num_users, dtype=np.int64)
+            for key, idx in domain.user_index.items():
+                if key not in self.index:
+                    self.index[key] = len(self.index)
+                mapping[idx] = self.index[key]
+            self.per_domain[domain.name] = mapping
+
+    @property
+    def num_users(self) -> int:
+        return len(self.index)
+
+    def map_users(self, domain_name: str, users: np.ndarray) -> np.ndarray:
+        return self.per_domain[domain_name][np.asarray(users)]
+
+
+class CoNet(BaselineRecommender):
+    """Collaborative cross networks with cross-connected hidden layers."""
+
+    name = "CoNet"
+
+    def __init__(self, config: Optional[BaselineConfig] = None):
+        self.config = config if config is not None else BaselineConfig()
+        self._model: Optional[Module] = None
+        self._shared: Optional[_SharedUserSpace] = None
+        self._scenario: Optional[CDRScenario] = None
+
+    def fit(self, scenario: CDRScenario) -> "CoNet":
+        cfg = self.config
+        self._scenario = scenario
+        shared = _SharedUserSpace(scenario)
+        self._shared = shared
+        rng = np.random.default_rng(cfg.seed)
+        dim = cfg.embedding_dim
+
+        model = Module()
+        model.users = Embedding(shared.num_users, dim, rng=rng)
+        names = [scenario.domain_x.name, scenario.domain_y.name]
+        for domain in (scenario.domain_x, scenario.domain_y):
+            model.register_module(f"items_{domain.name}",
+                                  Embedding(domain.num_items, dim, rng=rng))
+            model.register_module(f"tower1_{domain.name}", Linear(2 * dim, dim, rng=rng))
+            model.register_module(f"tower2_{domain.name}", Linear(dim, dim // 2, rng=rng))
+            model.register_module(f"out_{domain.name}", Linear(dim // 2, 1, rng=rng))
+        # Cross-connection matrices transfer the first hidden layer between towers.
+        model.cross_x_to_y = Linear(dim, dim, bias=False, rng=rng)
+        model.cross_y_to_x = Linear(dim, dim, bias=False, rng=rng)
+        self._model = model
+
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
+                         weight_decay=cfg.weight_decay)
+        samplers = {
+            domain.name: EdgeSampler(domain.graph, cfg.batch_size, cfg.num_negatives,
+                                     seed=cfg.seed + offset)
+            for offset, domain in enumerate((scenario.domain_x, scenario.domain_y))
+        }
+        steps = max(s.steps_per_epoch() for s in samplers.values())
+        for _ in range(cfg.epochs):
+            for _ in range(steps):
+                optimizer.zero_grad()
+                total = None
+                for name in names:
+                    batch = samplers[name].sample()
+                    if batch is None:
+                        continue
+                    users, positives, negatives = batch
+                    num_neg = negatives.shape[1]
+                    all_users = np.concatenate([users, np.repeat(users, num_neg)])
+                    all_items = np.concatenate([positives, negatives.reshape(-1)])
+                    labels = np.concatenate([np.ones(len(users)),
+                                             np.zeros(len(users) * num_neg)])
+                    logits = self._forward(name, all_users, all_items, other=_other(names, name))
+                    loss = ops.binary_cross_entropy_with_logits(logits, labels)
+                    total = loss if total is None else ops.add(total, loss)
+                if total is None:
+                    continue
+                total.backward()
+                optimizer.step()
+        model.eval()
+        return self
+
+    def _forward(self, domain_name: str, users: np.ndarray, items: np.ndarray,
+                 other: str) -> Tensor:
+        """Score (user, item) pairs in one domain with cross-connected towers."""
+        model = self._model
+        shared_users = self._shared.map_users(domain_name, users)
+        user_vec = model.users(shared_users)
+        item_vec = getattr(model, f"items_{domain_name}")(items)
+        pair = ops.concat([user_vec, item_vec], axis=-1)
+        hidden_self = ops.relu(getattr(model, f"tower1_{domain_name}")(pair))
+        # The cross connection injects the *other* tower's view of the same
+        # user (its first-layer transform of the user embedding alone).
+        cross = (model.cross_y_to_x if other == self._scenario.domain_y.name
+                 else model.cross_x_to_y)
+        hidden_other = ops.relu(cross(user_vec))
+        hidden = ops.add(hidden_self, hidden_other)
+        hidden = ops.relu(getattr(model, f"tower2_{domain_name}")(hidden))
+        logits = getattr(model, f"out_{domain_name}")(hidden)
+        return ops.reshape(logits, (logits.shape[0],))
+
+    def scorer(self, source: str, target: str):
+        if self._model is None:
+            raise RuntimeError("call fit() before scorer()")
+        names = [self._scenario.domain_x.name, self._scenario.domain_y.name]
+
+        def score(users: np.ndarray, items: np.ndarray) -> np.ndarray:
+            # The cold-start user is identified by their shared embedding, so
+            # we can run the *target* tower on them directly even though the
+            # index we receive lives in the source domain.
+            shared_users = self._shared.map_users(source, users)
+            model = self._model
+            user_vec = model.users(shared_users)
+            item_vec = getattr(model, f"items_{target}")(np.asarray(items))
+            pair = ops.concat([user_vec, item_vec], axis=-1)
+            hidden_self = ops.relu(getattr(model, f"tower1_{target}")(pair))
+            cross = (model.cross_y_to_x if source == self._scenario.domain_y.name
+                     else model.cross_x_to_y)
+            hidden = ops.add(hidden_self, ops.relu(cross(user_vec)))
+            hidden = ops.relu(getattr(model, f"tower2_{target}")(hidden))
+            logits = getattr(model, f"out_{target}")(hidden)
+            return logits.data.reshape(-1)
+
+        return score
+
+
+class StarLinear(Module):
+    """Linear layer whose weight is the elementwise product of shared and domain weights."""
+
+    def __init__(self, in_features: int, out_features: int, shared_weight: Parameter,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.shared_weight = shared_weight
+        self.domain_weight = Parameter(np.ones((in_features, out_features)),
+                                       name="domain_weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = ops.mul(self.shared_weight, self.domain_weight)
+        return ops.add(ops.matmul(x, weight), self.bias)
+
+
+class STAR(BaselineRecommender):
+    """Star-topology adaptive recommender (shared-centre + per-domain weights)."""
+
+    name = "STAR"
+
+    def __init__(self, config: Optional[BaselineConfig] = None):
+        self.config = config if config is not None else BaselineConfig()
+        self._model: Optional[Module] = None
+        self._shared: Optional[_SharedUserSpace] = None
+        self._scenario: Optional[CDRScenario] = None
+
+    def fit(self, scenario: CDRScenario) -> "STAR":
+        cfg = self.config
+        self._scenario = scenario
+        shared = _SharedUserSpace(scenario)
+        self._shared = shared
+        rng = np.random.default_rng(cfg.seed)
+        dim = cfg.embedding_dim
+
+        model = Module()
+        model.users = Embedding(shared.num_users, dim, rng=rng)
+        model.shared_weight_1 = Parameter(init.xavier_uniform((2 * dim, dim), rng=rng),
+                                          name="shared_weight_1")
+        model.shared_weight_2 = Parameter(init.xavier_uniform((dim, 1), rng=rng),
+                                          name="shared_weight_2")
+        for domain in (scenario.domain_x, scenario.domain_y):
+            model.register_module(f"items_{domain.name}",
+                                  Embedding(domain.num_items, dim, rng=rng))
+            model.register_module(f"star1_{domain.name}",
+                                  StarLinear(2 * dim, dim, model.shared_weight_1, rng=rng))
+            model.register_module(f"star2_{domain.name}",
+                                  StarLinear(dim, 1, model.shared_weight_2, rng=rng))
+        self._model = model
+
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
+                         weight_decay=cfg.weight_decay)
+        samplers = {
+            domain.name: EdgeSampler(domain.graph, cfg.batch_size, cfg.num_negatives,
+                                     seed=cfg.seed + offset)
+            for offset, domain in enumerate((scenario.domain_x, scenario.domain_y))
+        }
+        steps = max(s.steps_per_epoch() for s in samplers.values())
+        for _ in range(cfg.epochs):
+            for _ in range(steps):
+                optimizer.zero_grad()
+                total = None
+                for domain in (scenario.domain_x, scenario.domain_y):
+                    batch = samplers[domain.name].sample()
+                    if batch is None:
+                        continue
+                    users, positives, negatives = batch
+                    num_neg = negatives.shape[1]
+                    all_users = np.concatenate([users, np.repeat(users, num_neg)])
+                    all_items = np.concatenate([positives, negatives.reshape(-1)])
+                    labels = np.concatenate([np.ones(len(users)),
+                                             np.zeros(len(users) * num_neg)])
+                    logits = self._forward(domain.name, domain.name, all_users, all_items)
+                    loss = ops.binary_cross_entropy_with_logits(logits, labels)
+                    total = loss if total is None else ops.add(total, loss)
+                if total is None:
+                    continue
+                total.backward()
+                optimizer.step()
+        model.eval()
+        return self
+
+    def _forward(self, user_domain: str, item_domain: str, users: np.ndarray,
+                 items: np.ndarray) -> Tensor:
+        model = self._model
+        shared_users = self._shared.map_users(user_domain, users)
+        user_vec = model.users(shared_users)
+        item_vec = getattr(model, f"items_{item_domain}")(np.asarray(items))
+        pair = ops.concat([user_vec, item_vec], axis=-1)
+        hidden = ops.relu(getattr(model, f"star1_{item_domain}")(pair))
+        logits = getattr(model, f"star2_{item_domain}")(hidden)
+        return ops.reshape(logits, (logits.shape[0],))
+
+    def scorer(self, source: str, target: str):
+        if self._model is None:
+            raise RuntimeError("call fit() before scorer()")
+
+        def score(users: np.ndarray, items: np.ndarray) -> np.ndarray:
+            logits = self._forward(source, target, np.asarray(users), np.asarray(items))
+            return logits.data.reshape(-1)
+
+        return score
+
+
+def _other(names, name):
+    return names[1] if name == names[0] else names[0]

@@ -1,0 +1,55 @@
+"""Registry of every baseline compared in Tables III-VI.
+
+The registry maps the display names used in the paper's result tables to
+factory callables, so experiment runners and benches can instantiate any
+subset by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import BaselineConfig, BaselineRecommender
+from .deep import CoNet, STAR
+from .emcdr import EMCDR, SSCDR, TMCDR
+from .gnn import NGCF, PPGN
+from .mf import SingleDomainMF
+from .savae import SAVAE
+from .vbge_single import VBGERecommender
+
+BaselineFactory = Callable[[BaselineConfig], BaselineRecommender]
+
+BASELINE_FACTORIES: Dict[str, BaselineFactory] = {
+    # Single-domain CF on the merged interaction set.
+    "CML": lambda cfg: SingleDomainMF(cfg, loss="cml"),
+    "BPRMF": lambda cfg: SingleDomainMF(cfg, loss="bpr"),
+    "NGCF": lambda cfg: NGCF(cfg),
+    "VBGE": lambda cfg: VBGERecommender(cfg),
+    # Cross-domain models without an explicit cold-start mechanism.
+    "CoNet": lambda cfg: CoNet(cfg),
+    "STAR": lambda cfg: STAR(cfg),
+    "PPGN": lambda cfg: PPGN(cfg),
+    # EMCDR-family cold-start models.
+    "EMCDR(CML)": lambda cfg: EMCDR(cfg, pretrain="cml"),
+    "EMCDR(BPRMF)": lambda cfg: EMCDR(cfg, pretrain="bprmf"),
+    "EMCDR(NGCF)": lambda cfg: EMCDR(cfg, pretrain="ngcf"),
+    "SSCDR": lambda cfg: SSCDR(cfg),
+    "TMCDR": lambda cfg: TMCDR(cfg),
+    "SA-VAE": lambda cfg: SAVAE(cfg),
+}
+
+SINGLE_DOMAIN_BASELINES: List[str] = ["CML", "BPRMF", "NGCF", "VBGE"]
+CROSS_DOMAIN_BASELINES: List[str] = ["CoNet", "STAR", "PPGN"]
+EMCDR_FAMILY_BASELINES: List[str] = [
+    "EMCDR(CML)", "EMCDR(BPRMF)", "EMCDR(NGCF)", "SSCDR", "TMCDR", "SA-VAE",
+]
+ALL_BASELINES: List[str] = (
+    SINGLE_DOMAIN_BASELINES + CROSS_DOMAIN_BASELINES + EMCDR_FAMILY_BASELINES
+)
+
+
+def make_baseline(name: str, config: Optional[BaselineConfig] = None) -> BaselineRecommender:
+    """Instantiate a baseline by its paper display name."""
+    if name not in BASELINE_FACTORIES:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINE_FACTORIES)}")
+    return BASELINE_FACTORIES[name](config if config is not None else BaselineConfig())

@@ -1,0 +1,32 @@
+"""CDRIB: the paper's primary contribution."""
+
+from .cdrib import CDRIB, CDRIBConfig, DomainLatents
+from .regularizers import (
+    ContrastiveDiscriminator,
+    contrastive_term,
+    interaction_score,
+    minimality_term,
+    reconstruction_term,
+)
+from .trainer import CDRIBTrainer, EpochLog, TrainResult
+from .variants import ABLATION_VARIANTS, make_ablation_config
+from .vbge import VBGE, GaussianLatent, PropagationBlock
+
+__all__ = [
+    "CDRIB",
+    "CDRIBConfig",
+    "DomainLatents",
+    "CDRIBTrainer",
+    "TrainResult",
+    "EpochLog",
+    "VBGE",
+    "GaussianLatent",
+    "PropagationBlock",
+    "ContrastiveDiscriminator",
+    "minimality_term",
+    "reconstruction_term",
+    "contrastive_term",
+    "interaction_score",
+    "ABLATION_VARIANTS",
+    "make_ablation_config",
+]

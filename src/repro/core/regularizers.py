@@ -1,0 +1,127 @@
+"""Tractable objective terms of CDRIB (Section III-C / III-D).
+
+Three groups of terms:
+
+* **Minimality** (Eq. 11): KL divergence between each approximate posterior
+  and the standard-normal prior; penalises domain-specific information kept
+  in the latent variables.
+* **Reconstruction** (Eq. 13): negative log-likelihood of observed user-item
+  interactions under the inner-product score function, estimated with
+  negative sampling.  Used for both the in-domain (Eq. 8) and the
+  cross-domain (Eq. 7) information bottleneck regularizers — the only
+  difference is *which* user representations are paired with the items.
+* **Contrastive** (Eq. 14-15): an MLP discriminator scores aligned
+  overlapping-user representation pairs against shuffled negatives, lower
+  bounding the cross-domain user-user mutual information.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from ..nn import MLP, Module
+
+
+def minimality_term(latent_mu: Tensor, latent_sigma: Tensor) -> Tensor:
+    """KL( q(Z|·) || N(0, I) ) averaged over nodes — one minimality term of Eq. 11."""
+    return ops.gaussian_kl(latent_mu, latent_sigma, reduce="mean")
+
+
+def interaction_score(user_repr: Tensor, item_repr: Tensor) -> Tensor:
+    """Plausibility logits s(z_u, z_v) as row-wise inner products.
+
+    The paper applies a sigmoid on top; we keep logits and use the
+    numerically stable BCE-with-logits formulation for training, and apply
+    the sigmoid only when a probability is explicitly needed.
+    """
+    return ops.dot_rows(user_repr, item_repr)
+
+
+def reconstruction_term(user_repr: Tensor, pos_item_repr: Tensor,
+                        neg_item_repr: Tensor) -> Tensor:
+    """Negative-sampling estimate of the reconstruction term (Eq. 13).
+
+    ``neg_item_repr`` may contain several negatives per positive, flattened
+    to shape (batch * num_negatives, F); the corresponding user rows must be
+    repeated by the caller.
+    Returns the *loss* (the negated lower bound), to be minimised.
+    """
+    pos_logits = interaction_score(user_repr, pos_item_repr)
+    pos_loss = ops.binary_cross_entropy_with_logits(
+        pos_logits, np.ones(pos_logits.shape), reduce="mean"
+    )
+    if neg_item_repr is None:
+        return pos_loss
+    repeat = neg_item_repr.shape[0] // user_repr.shape[0]
+    if repeat * user_repr.shape[0] != neg_item_repr.shape[0]:
+        raise ValueError(
+            "neg_item_repr rows must be a multiple of user_repr rows "
+            f"({neg_item_repr.shape[0]} vs {user_repr.shape[0]})"
+        )
+    if repeat > 1:
+        index = np.repeat(np.arange(user_repr.shape[0]), repeat)
+        neg_users = user_repr[index]
+    else:
+        neg_users = user_repr
+    neg_logits = interaction_score(neg_users, neg_item_repr)
+    neg_loss = ops.binary_cross_entropy_with_logits(
+        neg_logits, np.zeros(neg_logits.shape), reduce="mean"
+    )
+    return ops.add(pos_loss, neg_loss)
+
+
+class ContrastiveDiscriminator(Module):
+    """The discriminator D of Eq. 15: a three-layer MLP over concatenated pairs."""
+
+    def __init__(self, dim: int, hidden_dim: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = hidden_dim if hidden_dim is not None else dim
+        self.mlp = MLP([2 * dim, hidden, hidden // 2 or 1, 1], activation="relu", rng=rng)
+
+    def forward(self, repr_x: Tensor, repr_y: Tensor) -> Tensor:
+        """Return similarity logits for row-aligned pairs (z^xo_ui, z^yo_ui)."""
+        pair = ops.concat([repr_x, repr_y], axis=-1)
+        logits = self.mlp(pair)
+        return ops.reshape(logits, (logits.shape[0],))
+
+
+def contrastive_term(discriminator: ContrastiveDiscriminator,
+                     overlap_x: Tensor, overlap_y: Tensor,
+                     rng: np.random.Generator) -> Tensor:
+    """Contrastive information regularizer loss (the negated bound of Eq. 14).
+
+    Positive pairs align the same overlapping user across domains; negative
+    pairs are built by pairing each X-side representation with a *different*
+    user's Y-side representation (a derangement-style shuffle).
+    """
+    count = overlap_x.shape[0]
+    if count < 2:
+        # A single overlapping user cannot form a negative pair; the
+        # regularizer degenerates to zero.
+        return Tensor(0.0)
+    permutation = _derangement(count, rng)
+    pos_logits = discriminator(overlap_x, overlap_y)
+    neg_logits = discriminator(overlap_x, overlap_y[permutation])
+    pos_loss = ops.binary_cross_entropy_with_logits(
+        pos_logits, np.ones(count), reduce="mean"
+    )
+    neg_loss = ops.binary_cross_entropy_with_logits(
+        neg_logits, np.zeros(count), reduce="mean"
+    )
+    return ops.add(pos_loss, neg_loss)
+
+
+def _derangement(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Random permutation of ``range(count)`` with no fixed points."""
+    permutation = rng.permutation(count)
+    for position in range(count):
+        if permutation[position] == position:
+            swap_with = (position + 1) % count
+            permutation[position], permutation[swap_with] = (
+                permutation[swap_with], permutation[position]
+            )
+    return permutation

@@ -1,0 +1,51 @@
+"""Ablation variants of CDRIB (Table VII and design-choice ablations).
+
+The paper studies two degenerate versions:
+
+* ``w/o Con`` — drop the contrastive information regularizer;
+* ``w/o In-IB&Con`` — additionally drop the in-domain IB regularizer,
+  keeping only the cross-domain IB regularizer (which is what preserves the
+  ability to recommend across domains at all).
+
+Two further variants exercise design choices called out in DESIGN.md:
+
+* ``deterministic`` — no reparameterised sampling (the encoder becomes a
+  plain graph encoder, isolating the contribution of the variational part);
+* ``dot_contrast`` — replace the MLP discriminator with a plain
+  inner-product contrastive score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .cdrib import CDRIBConfig
+
+ABLATION_VARIANTS = ("full", "wo_con", "wo_inib_con", "deterministic", "dot_contrast")
+
+
+def make_ablation_config(base: CDRIBConfig, variant: str) -> CDRIBConfig:
+    """Return the config for one named ablation variant of CDRIB."""
+    if variant == "full":
+        return base.variant()
+    if variant == "wo_con":
+        return base.variant(use_contrastive=False)
+    if variant == "wo_inib_con":
+        return base.variant(use_contrastive=False, use_in_domain_ib=False)
+    if variant == "deterministic":
+        return base.variant(deterministic_encoder=True)
+    if variant == "dot_contrast":
+        return base.variant(use_discriminator=False)
+    raise ValueError(f"unknown variant {variant!r}; choose from {ABLATION_VARIANTS}")
+
+
+def variant_display_name(variant: str) -> str:
+    """Human-readable names matching the paper's Table VII column headers."""
+    names: Dict[str, str] = {
+        "full": "CDRIB",
+        "wo_con": "w/o Con",
+        "wo_inib_con": "w/o In-IB&Con",
+        "deterministic": "w/o Variational",
+        "dot_contrast": "w/o Discriminator",
+    }
+    return names.get(variant, variant)

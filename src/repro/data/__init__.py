@@ -1,0 +1,44 @@
+"""Datasets, preprocessing and cross-domain scenario assembly."""
+
+from .amazon import load_amazon_ratings
+from .interactions import InteractionTable
+from .sampling import EdgeBatchIterator, NegativeSampler
+from .scenario import (
+    CDRScenario,
+    ColdStartUser,
+    DirectionSplit,
+    Domain,
+    MergedView,
+    build_merged_view,
+    build_scenario,
+)
+from .statistics import DomainStatistics, format_statistics_table, scenario_statistics
+from .synthetic import (
+    PAPER_SCENARIOS,
+    SyntheticConfig,
+    SyntheticCrossDomainData,
+    SyntheticCrossDomainGenerator,
+    paper_scenario_config,
+)
+
+__all__ = [
+    "InteractionTable",
+    "load_amazon_ratings",
+    "NegativeSampler",
+    "EdgeBatchIterator",
+    "CDRScenario",
+    "ColdStartUser",
+    "DirectionSplit",
+    "Domain",
+    "MergedView",
+    "build_scenario",
+    "build_merged_view",
+    "DomainStatistics",
+    "scenario_statistics",
+    "format_statistics_table",
+    "SyntheticConfig",
+    "SyntheticCrossDomainData",
+    "SyntheticCrossDomainGenerator",
+    "PAPER_SCENARIOS",
+    "paper_scenario_config",
+]

@@ -1,0 +1,62 @@
+"""Loader for Amazon-review style rating files.
+
+The paper uses the public Amazon 2014 review dumps (Music-Movie, Phone-Elec,
+Cloth-Sport, Game-Video pairs).  Those files are not available in this
+offline environment — the synthetic generator in
+:mod:`repro.data.synthetic` provides the substitute workload — but this
+loader is included so that anyone with the original ``ratings_<Category>.csv``
+files (``user,item,rating,timestamp`` rows) can run the identical pipeline on
+real data.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Optional
+
+from .interactions import InteractionTable
+
+
+def load_amazon_ratings(path: str, name: Optional[str] = None,
+                        min_rating: float = 0.0,
+                        max_rows: Optional[int] = None) -> InteractionTable:
+    """Read an Amazon ``ratings_*.csv`` file into an :class:`InteractionTable`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with rows ``user_id,item_id,rating,timestamp`` (no header).
+    name:
+        Name for the resulting table; defaults to the file stem.
+    min_rating:
+        Interactions with a rating below this value are dropped (the paper
+        treats every review as an implicit-feedback interaction, so the
+        default keeps everything).
+    max_rows:
+        Optional cap, useful for smoke tests on huge files.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"{path} not found. The Amazon dumps are not bundled with this "
+            "reproduction; use repro.data.synthetic for an offline workload."
+        )
+    table_name = name if name is not None else os.path.splitext(os.path.basename(path))[0]
+    table = InteractionTable(table_name)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            if len(row) < 2:
+                continue
+            user_key, item_key = row[0], row[1]
+            if len(row) >= 3 and min_rating > 0:
+                try:
+                    rating = float(row[2])
+                except ValueError:
+                    continue
+                if rating < min_rating:
+                    continue
+            table.add(user_key, item_key)
+    return table

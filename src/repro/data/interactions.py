@@ -1,0 +1,124 @@
+"""Raw interaction tables and the paper's preprocessing filters.
+
+An :class:`InteractionTable` stores (user_key, item_key) pairs using the
+*external* identifiers of the source data (strings for Amazon reviewer /
+ASIN ids, integers for the synthetic generator).  The table supports the
+k-core style filtering described in Section IV-A of the paper (drop items
+with fewer than 10 interactions and users with fewer than 5) and conversion
+into contiguous integer index spaces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class InteractionTable:
+    """A bag of user-item interactions identified by external keys."""
+
+    name: str
+    pairs: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+
+    def add(self, user_key: Hashable, item_key: Hashable) -> None:
+        """Append one interaction."""
+        self.pairs.append((user_key, item_key))
+
+    def extend(self, pairs: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Append many interactions."""
+        self.pairs.extend(pairs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_interactions(self) -> int:
+        return len(self.pairs)
+
+    def users(self) -> List[Hashable]:
+        """Distinct user keys in first-appearance order."""
+        return list(dict.fromkeys(user for user, _ in self.pairs))
+
+    def items(self) -> List[Hashable]:
+        """Distinct item keys in first-appearance order."""
+        return list(dict.fromkeys(item for _, item in self.pairs))
+
+    def user_counts(self) -> Counter:
+        """Number of interactions per user key."""
+        return Counter(user for user, _ in self.pairs)
+
+    def item_counts(self) -> Counter:
+        """Number of interactions per item key."""
+        return Counter(item for _, item in self.pairs)
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing
+    # ------------------------------------------------------------------ #
+    def deduplicate(self) -> "InteractionTable":
+        """Return a copy with repeated (user, item) pairs collapsed."""
+        unique = list(dict.fromkeys(self.pairs))
+        return InteractionTable(self.name, unique)
+
+    def filter_core(self, min_user_interactions: int = 5,
+                    min_item_interactions: int = 10,
+                    max_rounds: int = 20) -> "InteractionTable":
+        """Iteratively drop sparse items then sparse users (Section IV-A).
+
+        The paper filters items with fewer than 10 interactions and users
+        with fewer than 5.  Because removing one side can push the other
+        below its threshold, the filter is applied alternately until a fixed
+        point (or ``max_rounds``) is reached.
+        """
+        pairs = list(dict.fromkeys(self.pairs))
+        for _ in range(max_rounds):
+            item_counts = Counter(item for _, item in pairs)
+            keep_items = {item for item, count in item_counts.items()
+                          if count >= min_item_interactions}
+            filtered = [(u, i) for (u, i) in pairs if i in keep_items]
+
+            user_counts = Counter(user for user, _ in filtered)
+            keep_users = {user for user, count in user_counts.items()
+                          if count >= min_user_interactions}
+            filtered = [(u, i) for (u, i) in filtered if u in keep_users]
+
+            if len(filtered) == len(pairs):
+                pairs = filtered
+                break
+            pairs = filtered
+        return InteractionTable(self.name, pairs)
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def to_indexed(self, user_index: Dict[Hashable, int] = None,
+                   item_index: Dict[Hashable, int] = None
+                   ) -> Tuple[np.ndarray, Dict[Hashable, int], Dict[Hashable, int]]:
+        """Convert key pairs to an integer edge array.
+
+        Existing index maps may be supplied (e.g. to share a user index space
+        across domains); unseen keys are appended in first-appearance order.
+        """
+        user_index = dict(user_index) if user_index else {}
+        item_index = dict(item_index) if item_index else {}
+        edges = np.empty((len(self.pairs), 2), dtype=np.int64)
+        for row, (user, item) in enumerate(self.pairs):
+            if user not in user_index:
+                user_index[user] = len(user_index)
+            if item not in item_index:
+                item_index[item] = len(item_index)
+            edges[row, 0] = user_index[user]
+            edges[row, 1] = item_index[item]
+        return edges, user_index, item_index
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionTable(name={self.name!r}, interactions={len(self.pairs)}, "
+            f"users={len(self.users())}, items={len(self.items())})"
+        )

@@ -1,0 +1,101 @@
+"""Negative sampling and mini-batch iteration over interaction edges."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+
+
+class NegativeSampler:
+    """Sample items a user has *not* interacted with.
+
+    Used both for the BCE / BPR training losses and for the leave-one-out
+    evaluation protocol (1 positive + 999 sampled negatives).
+    """
+
+    def __init__(self, graph: BipartiteGraph, seed: int = 0):
+        self.graph = graph
+        self.num_items = graph.num_items
+        self._interacted: Dict[int, Set[int]] = graph.user_item_set()
+        self._rng = np.random.default_rng(seed)
+
+    def sample_for_user(self, user: int, count: int,
+                        exclude: Optional[Set[int]] = None) -> np.ndarray:
+        """Return ``count`` negative item indices for ``user``.
+
+        Items in the user's training history and in ``exclude`` are avoided.
+        Sampling is with rejection, falling back to an explicit complement
+        when the candidate pool is small.
+        """
+        banned = set(self._interacted.get(user, set()))
+        if exclude:
+            banned |= set(int(i) for i in exclude)
+        available = self.num_items - len(banned)
+        if available <= 0:
+            raise ValueError(f"user {user} has no negative items available")
+        if count >= available:
+            complement = np.setdiff1d(np.arange(self.num_items), np.fromiter(banned, dtype=np.int64))
+            return complement
+
+        negatives = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = self._rng.integers(0, self.num_items, size=(count - filled) * 2)
+            for item in draw:
+                if int(item) in banned:
+                    continue
+                negatives[filled] = item
+                banned.add(int(item))
+                filled += 1
+                if filled == count:
+                    break
+        return negatives
+
+    def sample_batch(self, users: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+        """Per-user sampling: shape (len(users), num_negatives).
+
+        Users with fewer unobserved items than ``num_negatives`` reuse their
+        available negatives (sampling with replacement) so training batches
+        keep a rectangular shape even on extremely dense toy graphs.
+        """
+        out = np.empty((len(users), num_negatives), dtype=np.int64)
+        for row, user in enumerate(users):
+            negatives = self.sample_for_user(int(user), num_negatives)
+            if negatives.shape[0] < num_negatives:
+                negatives = self._rng.choice(negatives, size=num_negatives, replace=True)
+            out[row] = negatives[:num_negatives]
+        return out
+
+
+class EdgeBatchIterator:
+    """Iterate over shuffled mini-batches of (user, positive item, negative item).
+
+    One pass over the iterator visits every training edge exactly once
+    (epoch semantics); negatives are re-sampled each epoch.
+    """
+
+    def __init__(self, graph: BipartiteGraph, batch_size: int = 1024,
+                 num_negatives: int = 1, seed: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.graph = graph
+        self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self._rng = np.random.default_rng(seed)
+        self._sampler = NegativeSampler(graph, seed=seed + 1)
+
+    def __len__(self) -> int:
+        return int(np.ceil(self.graph.num_edges / self.batch_size))
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        edges = self.graph.edges
+        order = self._rng.permutation(edges.shape[0])
+        for start in range(0, edges.shape[0], self.batch_size):
+            batch = edges[order[start:start + self.batch_size]]
+            users = batch[:, 0]
+            positives = batch[:, 1]
+            negatives = self._sampler.sample_batch(users, self.num_negatives)
+            yield users, positives, negatives

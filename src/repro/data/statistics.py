@@ -1,0 +1,77 @@
+"""Dataset statistics in the format of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .scenario import CDRScenario
+
+
+@dataclass
+class DomainStatistics:
+    """One row of Table II (one domain of a scenario)."""
+
+    scenario: str
+    domain: str
+    num_users: int
+    num_items: int
+    num_training: int
+    num_overlap: int
+    num_validation: int
+    num_test: int
+    num_cold_start: int
+    density: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "domain": self.domain,
+            "|U|": self.num_users,
+            "|V|": self.num_items,
+            "Training": self.num_training,
+            "#Overlap": self.num_overlap,
+            "Validation": self.num_validation,
+            "Test": self.num_test,
+            "#Cold-start": self.num_cold_start,
+            "Density": round(self.density, 6),
+        }
+
+
+def scenario_statistics(name: str, scenario: CDRScenario) -> List[DomainStatistics]:
+    """Compute Table II style statistics for both domains of a scenario.
+
+    Validation / Test count *records* (held-out interactions) while
+    #Cold-start counts users, matching the paper's table semantics.
+    """
+    rows: List[DomainStatistics] = []
+    for domain in (scenario.domain_x, scenario.domain_y):
+        # The split whose target is this domain contributes its eval records.
+        split = next(s for s in scenario.directions if s.target == domain.name)
+        rows.append(DomainStatistics(
+            scenario=name,
+            domain=domain.name,
+            num_users=domain.num_users,
+            num_items=domain.num_items,
+            num_training=domain.graph.num_edges,
+            num_overlap=scenario.num_overlap_train,
+            num_validation=split.num_validation_records,
+            num_test=split.num_test_records,
+            num_cold_start=split.num_cold_start_users,
+            density=domain.graph.density,
+        ))
+    return rows
+
+
+def format_statistics_table(rows: List[DomainStatistics]) -> str:
+    """Render statistics rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    dicts = [row.as_dict() for row in rows]
+    headers = list(dicts[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(d[h])) for d in dicts)) for h in headers}
+    lines = ["  ".join(str(h).ljust(widths[h]) for h in headers)]
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for d in dicts:
+        lines.append("  ".join(str(d[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Evaluation protocol, ranking metrics and statistical testing."""
+
+from .groups import PAPER_INTERACTION_BUCKETS, GroupResult, group_by_interaction_count
+from .metrics import (
+    RankingMetrics,
+    aggregate_ranks,
+    hit_rate_at_k,
+    ndcg_at_k,
+    rank_of_positive,
+    reciprocal_rank,
+)
+from .protocol import (
+    DirectionResult,
+    EvaluationRecord,
+    LeaveOneOutEvaluator,
+    Scorer,
+    popularity_scorer,
+    random_scorer,
+)
+from .significance import SignificanceResult, paired_t_test
+
+__all__ = [
+    "RankingMetrics",
+    "aggregate_ranks",
+    "reciprocal_rank",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "rank_of_positive",
+    "LeaveOneOutEvaluator",
+    "DirectionResult",
+    "EvaluationRecord",
+    "Scorer",
+    "random_scorer",
+    "popularity_scorer",
+    "GroupResult",
+    "group_by_interaction_count",
+    "PAPER_INTERACTION_BUCKETS",
+    "SignificanceResult",
+    "paired_t_test",
+]

@@ -1,0 +1,50 @@
+"""Per-group evaluation by source-domain interaction count (Table IX)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .metrics import RankingMetrics, aggregate_ranks
+from .protocol import DirectionResult, EvaluationRecord
+
+# The paper buckets cold-start users by how many interactions they have in
+# their source domain.
+PAPER_INTERACTION_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (5, 10), (11, 20), (21, 30), (31, 40), (41, 50),
+)
+
+
+@dataclass
+class GroupResult:
+    """Metrics for one interaction-count bucket."""
+
+    low: int
+    high: int
+    metrics: RankingMetrics
+
+    @property
+    def label(self) -> str:
+        return f"{self.low}-{self.high}"
+
+
+def group_by_interaction_count(result: DirectionResult,
+                               buckets: Sequence[Tuple[int, int]] = PAPER_INTERACTION_BUCKETS
+                               ) -> List[GroupResult]:
+    """Bucket a direction's evaluation records by source-domain degree.
+
+    Records whose degree falls outside every bucket (e.g. >50 interactions)
+    are ignored, matching the paper's table which only reports the listed
+    ranges.
+    """
+    grouped: Dict[Tuple[int, int], List[EvaluationRecord]] = {b: [] for b in buckets}
+    for record in result.records:
+        for low, high in buckets:
+            if low <= record.source_degree <= high:
+                grouped[(low, high)].append(record)
+                break
+    results = []
+    for (low, high), records in grouped.items():
+        metrics = aggregate_ranks([record.rank for record in records])
+        results.append(GroupResult(low=low, high=high, metrics=metrics))
+    return results

@@ -1,0 +1,58 @@
+"""Statistical significance testing between two evaluated models.
+
+The paper marks improvements that are significant under a paired t-test at
+p < 0.05 against the runner-up.  The natural pairing unit is the per-record
+reciprocal rank: both models are evaluated on the identical held-out
+records, so their reciprocal-rank vectors are aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from .protocol import DirectionResult
+
+
+@dataclass
+class SignificanceResult:
+    """Outcome of a paired t-test between two models on one direction."""
+
+    t_statistic: float
+    p_value: float
+    mean_difference: float
+    significant: bool
+
+    @property
+    def better(self) -> bool:
+        """True when the first model is better on average."""
+        return self.mean_difference > 0
+
+
+def paired_t_test(result_a: DirectionResult, result_b: DirectionResult,
+                  alpha: float = 0.05) -> SignificanceResult:
+    """Paired t-test on per-record reciprocal ranks of two evaluations.
+
+    Both results must come from the same evaluator (same records in the same
+    order); a length mismatch indicates they do not and raises.
+    """
+    ranks_a = result_a.reciprocal_ranks()
+    ranks_b = result_b.reciprocal_ranks()
+    if ranks_a.shape != ranks_b.shape:
+        raise ValueError(
+            "paired t-test requires evaluations over identical record sets "
+            f"(got {ranks_a.shape[0]} vs {ranks_b.shape[0]} records)"
+        )
+    difference = ranks_a - ranks_b
+    if np.allclose(difference, 0):
+        return SignificanceResult(t_statistic=0.0, p_value=1.0,
+                                  mean_difference=0.0, significant=False)
+    t_statistic, p_value = stats.ttest_rel(ranks_a, ranks_b)
+    return SignificanceResult(
+        t_statistic=float(t_statistic),
+        p_value=float(p_value),
+        mean_difference=float(difference.mean()),
+        significant=bool(p_value < alpha),
+    )

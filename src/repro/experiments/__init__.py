@@ -1,0 +1,45 @@
+"""Experiment configuration and runners for every table / figure in the paper."""
+
+from .config import PROFILES, ExperimentProfile, get_profile
+from .reporting import (
+    load_rows_csv,
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+    summarize_by,
+)
+from .runners import (
+    build_paper_scenario,
+    format_rows,
+    make_evaluator,
+    run_ablation,
+    run_beta_sweep,
+    run_dataset_statistics,
+    run_interaction_groups,
+    run_layer_sweep,
+    run_main_comparison,
+    run_overlap_ratio,
+    train_cdrib,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "build_paper_scenario",
+    "make_evaluator",
+    "train_cdrib",
+    "run_dataset_statistics",
+    "run_main_comparison",
+    "run_ablation",
+    "run_overlap_ratio",
+    "run_interaction_groups",
+    "run_beta_sweep",
+    "run_layer_sweep",
+    "format_rows",
+    "save_rows_json",
+    "save_rows_csv",
+    "load_rows_json",
+    "load_rows_csv",
+    "summarize_by",
+]

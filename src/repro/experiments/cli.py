@@ -1,0 +1,101 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage (after installation)::
+
+    python -m repro.experiments.cli table2
+    python -m repro.experiments.cli table3 --scenario music_movie --profile fast
+    python -m repro.experiments.cli table7 --scenario phone_elec --output results/ablation.csv
+    python -m repro.experiments.cli figure5 --scenario game_video --profile smoke
+
+Each sub-command maps to one paper artefact, runs the corresponding
+experiment runner, prints the resulting table and optionally writes it to
+CSV or JSON (decided by the ``--output`` extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import runners
+from .config import PROFILES, get_profile
+from .reporting import save_rows_csv, save_rows_json
+
+EXPERIMENTS: Dict[str, str] = {
+    "table2": "Table II — dataset statistics of every scenario",
+    "table3": "Tables III-VI — main comparison on one scenario",
+    "table7": "Table VII — ablation study",
+    "table8": "Table VIII — overlap-ratio robustness",
+    "table9": "Table IX — cold-start interaction-count groups",
+    "figure5": "Figure 5 — Lagrangian multiplier sweep",
+    "figure6": "Figure 6 — VBGE layer-count sweep",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the CDRIB paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="which paper artefact to regenerate")
+    parser.add_argument("--scenario", default="game_video",
+                        help="scenario name (music_movie, phone_elec, cloth_sport, game_video)")
+    parser.add_argument("--profile", default=None, choices=sorted(PROFILES),
+                        help="budget profile (default: REPRO_BENCH_PROFILE or 'fast')")
+    parser.add_argument("--output", default=None,
+                        help="optional path to write the rows to (.csv or .json)")
+    parser.add_argument("--no-savae", action="store_true",
+                        help="skip the SA-VAE comparison in table8/table9 (faster)")
+    return parser
+
+
+def run_experiment(name: str, scenario: str, profile_name: Optional[str],
+                   include_savae: bool = True) -> List[dict]:
+    """Dispatch one experiment by CLI name and return its result rows."""
+    profile = get_profile(profile_name)
+    if name == "table2":
+        return runners.run_dataset_statistics(profile=profile)
+    if name == "table3":
+        return runners.run_main_comparison(scenario, profile=profile)
+    if name == "table7":
+        return runners.run_ablation(scenario, profile=profile)
+    if name == "table8":
+        return runners.run_overlap_ratio(scenario, profile=profile,
+                                         compare_savae=include_savae)
+    if name == "table9":
+        return runners.run_interaction_groups(scenario, profile=profile,
+                                              compare_savae=include_savae)
+    if name == "figure5":
+        return runners.run_beta_sweep(scenario, profile=profile)
+    if name == "figure6":
+        return runners.run_layer_sweep(scenario, profile=profile)
+    raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+
+
+def save_rows(rows: List[dict], path: str) -> str:
+    """Write rows to ``path``, choosing the format from the file extension."""
+    if path.endswith(".json"):
+        return save_rows_json(rows, path)
+    if path.endswith(".csv"):
+        return save_rows_csv(rows, path)
+    raise ValueError(f"unsupported output extension for {path!r} (use .csv or .json)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rows = run_experiment(args.experiment, args.scenario, args.profile,
+                          include_savae=not args.no_savae)
+    print(runners.format_rows(rows))
+    if args.output:
+        written = save_rows(rows, args.output)
+        print(f"\nwrote {len(rows)} rows to {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

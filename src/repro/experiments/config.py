@@ -1,0 +1,94 @@
+"""Experiment configuration presets.
+
+The paper's experiments run on GPU-scale Amazon data; this reproduction runs
+on CPU over synthetic scenarios, so every experiment is parameterised by an
+:class:`ExperimentProfile` controlling the scenario scale, training budget
+and evaluation effort.  Three presets are provided:
+
+* ``smoke``  — seconds per model; used by the integration tests.
+* ``fast``   — the default for the benchmark harness; minutes for the full
+  table suite, enough budget for the qualitative shapes to emerge.
+* ``full``   — the largest preset that is still practical on a laptop CPU.
+
+Select the benchmark preset with the ``REPRO_BENCH_PROFILE`` environment
+variable (``smoke`` / ``fast`` / ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..baselines import BaselineConfig
+from ..core import CDRIBConfig
+
+
+@dataclass
+class ExperimentProfile:
+    """Resource budget of one experiment run."""
+
+    name: str
+    scenario_scale: float = 1.0
+    eval_negatives: int = 199
+    max_eval_users: Optional[int] = None
+    cdrib: CDRIBConfig = field(default_factory=CDRIBConfig)
+    baseline: BaselineConfig = field(default_factory=BaselineConfig)
+    seed: int = 0
+
+
+def _smoke_profile() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="smoke",
+        scenario_scale=0.18,
+        eval_negatives=49,
+        max_eval_users=10,
+        cdrib=CDRIBConfig(embedding_dim=16, num_layers=1, epochs=4, batch_size=256,
+                          num_negatives=2, learning_rate=0.02),
+        baseline=BaselineConfig(embedding_dim=16, epochs=3, mapping_epochs=10,
+                                batch_size=256, num_negatives=2, num_layers=1),
+    )
+
+
+def _fast_profile() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="fast",
+        scenario_scale=0.3,
+        eval_negatives=99,
+        max_eval_users=25,
+        cdrib=CDRIBConfig(embedding_dim=32, num_layers=2, epochs=80, batch_size=256,
+                          num_negatives=4, learning_rate=0.02, beta1=0.5, beta2=0.5,
+                          dropout=0.0, contrastive_weight=0.2),
+        baseline=BaselineConfig(embedding_dim=32, epochs=8, mapping_epochs=40,
+                                batch_size=256, num_negatives=4),
+    )
+
+
+def _full_profile() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="full",
+        scenario_scale=1.0,
+        eval_negatives=199,
+        max_eval_users=None,
+        cdrib=CDRIBConfig(embedding_dim=64, num_layers=2, epochs=100, batch_size=256,
+                          num_negatives=4, learning_rate=0.02, beta1=0.5, beta2=0.5,
+                          dropout=0.0, contrastive_weight=0.2),
+        baseline=BaselineConfig(embedding_dim=64, epochs=40, mapping_epochs=80,
+                                batch_size=256, num_negatives=4),
+    )
+
+
+PROFILES: Dict[str, callable] = {
+    "smoke": _smoke_profile,
+    "fast": _fast_profile,
+    "full": _full_profile,
+}
+
+
+def get_profile(name: Optional[str] = None) -> ExperimentProfile:
+    """Return a named profile; defaults to ``REPRO_BENCH_PROFILE`` or ``fast``."""
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    if name not in PROFILES:
+        raise KeyError(f"unknown profile {name!r}; available: {sorted(PROFILES)}")
+    return PROFILES[name]()

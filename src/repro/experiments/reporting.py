@@ -1,0 +1,109 @@
+"""Persistence helpers for experiment results.
+
+Runners return plain list-of-dict rows; these helpers write them to CSV or
+JSON so long experiment runs can be archived and re-rendered without
+retraining, and load them back for comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+ROW = Dict[str, object]
+
+
+def save_rows_json(rows: List[ROW], path: str) -> str:
+    """Write result rows to a JSON file (pretty-printed); returns the path."""
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True, default=_jsonify)
+        handle.write("\n")
+    return path
+
+
+def load_rows_json(path: str) -> List[ROW]:
+    """Load result rows previously written by :func:`save_rows_json`."""
+    with open(path) as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path} does not contain a list of result rows")
+    return rows
+
+
+def save_rows_csv(rows: List[ROW], path: str,
+                  columns: Optional[Sequence[str]] = None) -> str:
+    """Write result rows to a CSV file; returns the path.
+
+    The column set defaults to the union of keys over all rows, keeping the
+    first row's ordering first so tables stay readable.
+    """
+    _ensure_parent(path)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def load_rows_csv(path: str) -> List[ROW]:
+    """Load rows from a CSV written by :func:`save_rows_csv`.
+
+    Numeric-looking fields are converted back to int/float so round-tripped
+    rows compare naturally against freshly computed ones.
+    """
+    rows: List[ROW] = []
+    with open(path, newline="") as handle:
+        for raw in csv.DictReader(handle):
+            rows.append({key: _parse_value(value) for key, value in raw.items()})
+    return rows
+
+
+def summarize_by(rows: List[ROW], group_key: str, value_key: str = "MRR") -> Dict[object, float]:
+    """Average ``value_key`` per distinct value of ``group_key``.
+
+    A small convenience used by the CLI and examples to print per-method or
+    per-ratio summaries of a result table.
+    """
+    groups: Dict[object, List[float]] = {}
+    for row in rows:
+        if group_key not in row or value_key not in row:
+            continue
+        groups.setdefault(row[group_key], []).append(float(row[value_key]))
+    return {key: sum(values) / len(values) for key, values in groups.items() if values}
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def _jsonify(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _parse_value(value: str):
+    if value is None or value == "":
+        return value
+    try:
+        as_int = int(value)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value

@@ -1,0 +1,319 @@
+"""Experiment runners: one function per table / figure of the paper.
+
+Every runner returns plain dictionaries (rows) that the benchmark harness
+prints and the tests assert on, so results stay machine-checkable.  The
+mapping from paper artefact to runner:
+
+===========================  ==========================================
+Paper artefact               Runner
+===========================  ==========================================
+Table II (statistics)        :func:`run_dataset_statistics`
+Tables III-VI (main)         :func:`run_main_comparison`
+Table VII (ablation)         :func:`run_ablation`
+Table VIII (overlap ratio)   :func:`run_overlap_ratio`
+Table IX (interaction #)     :func:`run_interaction_groups`
+Figure 5 (beta sweep)        :func:`run_beta_sweep`
+Figure 6 (layer count)       :func:`run_layer_sweep`
+===========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import ALL_BASELINES, make_baseline
+from ..core import CDRIB, CDRIBConfig, CDRIBTrainer
+from ..core.variants import make_ablation_config, variant_display_name
+from ..data import (
+    CDRScenario,
+    SyntheticCrossDomainGenerator,
+    build_scenario,
+    paper_scenario_config,
+    scenario_statistics,
+)
+from ..eval import (
+    LeaveOneOutEvaluator,
+    group_by_interaction_count,
+)
+from .config import ExperimentProfile, get_profile
+
+ROW = Dict[str, object]
+
+
+# --------------------------------------------------------------------------- #
+# Scenario assembly
+# --------------------------------------------------------------------------- #
+def build_paper_scenario(name: str, profile: Optional[ExperimentProfile] = None
+                         ) -> CDRScenario:
+    """Generate and split one of the paper's four scenarios at profile scale."""
+    profile = profile if profile is not None else get_profile()
+    config = paper_scenario_config(name, scale=profile.scenario_scale)
+    data = SyntheticCrossDomainGenerator(config).generate()
+    # The synthetic generator produces denser graphs than raw Amazon dumps,
+    # so a milder item threshold keeps the post-filter scenario non-trivial
+    # at small scales while still exercising the k-core filtering code.
+    return build_scenario(data.table_x, data.table_y, cold_start_ratio=0.2,
+                          min_user_interactions=5, min_item_interactions=3,
+                          seed=profile.seed)
+
+
+def make_evaluator(scenario: CDRScenario, profile: ExperimentProfile
+                   ) -> LeaveOneOutEvaluator:
+    return LeaveOneOutEvaluator(
+        scenario, num_negatives=profile.eval_negatives, seed=profile.seed,
+        max_users_per_direction=profile.max_eval_users,
+    )
+
+
+def train_cdrib(scenario: CDRScenario, config: CDRIBConfig,
+                evaluator: Optional[LeaveOneOutEvaluator] = None) -> CDRIBTrainer:
+    """Train a CDRIB model and return its trainer (which exposes scorers)."""
+    model = CDRIB(scenario, config)
+    trainer = CDRIBTrainer(model, evaluator=evaluator)
+    trainer.fit()
+    return trainer
+
+
+# --------------------------------------------------------------------------- #
+# Table II — dataset statistics
+# --------------------------------------------------------------------------- #
+def run_dataset_statistics(scenario_names: Optional[Sequence[str]] = None,
+                           profile: Optional[ExperimentProfile] = None) -> List[ROW]:
+    """Statistics of every CDR scenario after preprocessing (Table II)."""
+    profile = profile if profile is not None else get_profile()
+    names = list(scenario_names) if scenario_names else [
+        "music_movie", "phone_elec", "cloth_sport", "game_video",
+    ]
+    rows: List[ROW] = []
+    for name in names:
+        scenario = build_paper_scenario(name, profile)
+        for stat in scenario_statistics(name, scenario):
+            rows.append(stat.as_dict())
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Tables III-VI — main comparison
+# --------------------------------------------------------------------------- #
+def run_main_comparison(scenario_name: str,
+                        baselines: Optional[Iterable[str]] = None,
+                        profile: Optional[ExperimentProfile] = None,
+                        include_cdrib: bool = True) -> List[ROW]:
+    """Bi-directional comparison of CDRIB against the baselines (Tables III-VI).
+
+    Returns one row per (method, target domain) with MRR / NDCG / HR metrics.
+    """
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    evaluator = make_evaluator(scenario, profile)
+    baseline_names = list(baselines) if baselines is not None else list(ALL_BASELINES)
+
+    rows: List[ROW] = []
+    for name in baseline_names:
+        model = make_baseline(name, profile.baseline)
+        model.fit(scenario)
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                model.scorer(split.source, split.target), split.source, split.target
+            )
+            rows.append(_result_row(scenario_name, name, split, result))
+
+    if include_cdrib:
+        trainer = train_cdrib(scenario, profile.cdrib, evaluator=None)
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                trainer.make_scorer(split.source, split.target),
+                split.source, split.target,
+            )
+            rows.append(_result_row(scenario_name, "CDRIB", split, result))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table VII — ablation study
+# --------------------------------------------------------------------------- #
+def run_ablation(scenario_name: str,
+                 variants: Sequence[str] = ("wo_inib_con", "wo_con", "full"),
+                 profile: Optional[ExperimentProfile] = None) -> List[ROW]:
+    """Table VII: CDRIB against its w/o Con and w/o In-IB&Con variants."""
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    evaluator = make_evaluator(scenario, profile)
+    rows: List[ROW] = []
+    for variant in variants:
+        config = make_ablation_config(profile.cdrib, variant)
+        trainer = train_cdrib(scenario, config)
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                trainer.make_scorer(split.source, split.target),
+                split.source, split.target,
+            )
+            row = _result_row(scenario_name, variant_display_name(variant), split, result)
+            row["variant"] = variant
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table VIII — overlap-ratio robustness
+# --------------------------------------------------------------------------- #
+def run_overlap_ratio(scenario_name: str,
+                      ratios: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+                      profile: Optional[ExperimentProfile] = None,
+                      compare_savae: bool = True) -> List[ROW]:
+    """Table VIII: CDRIB (and SA-VAE) under shrinking training overlap."""
+    profile = profile if profile is not None else get_profile()
+    base_scenario = build_paper_scenario(scenario_name, profile)
+    rows: List[ROW] = []
+    for ratio in ratios:
+        scenario = base_scenario.with_overlap_ratio(ratio, seed=profile.seed)
+        evaluator = make_evaluator(scenario, profile)
+        trainer = train_cdrib(scenario, profile.cdrib)
+        models = {"CDRIB": trainer.make_scorer}
+        if compare_savae:
+            savae = make_baseline("SA-VAE", profile.baseline)
+            savae.fit(scenario)
+            models["SA-VAE"] = savae.scorer
+        for method, scorer_factory in models.items():
+            for split in scenario.directions:
+                result = evaluator.evaluate_direction(
+                    scorer_factory(split.source, split.target),
+                    split.source, split.target,
+                )
+                row = _result_row(scenario_name, method, split, result)
+                row["overlap_ratio"] = ratio
+                rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table IX — cold-start interaction-count groups
+# --------------------------------------------------------------------------- #
+def run_interaction_groups(scenario_name: str,
+                           profile: Optional[ExperimentProfile] = None,
+                           compare_savae: bool = True) -> List[ROW]:
+    """Table IX: per-group performance by number of source-domain interactions."""
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    evaluator = make_evaluator(scenario, profile)
+
+    methods = {}
+    trainer = train_cdrib(scenario, profile.cdrib)
+    methods["CDRIB"] = trainer.make_scorer
+    if compare_savae:
+        savae = make_baseline("SA-VAE", profile.baseline)
+        savae.fit(scenario)
+        methods["SA-VAE"] = savae.scorer
+
+    rows: List[ROW] = []
+    for method, scorer_factory in methods.items():
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                scorer_factory(split.source, split.target), split.source, split.target
+            )
+            for group in group_by_interaction_count(result):
+                metrics = group.metrics.as_dict()
+                rows.append({
+                    "scenario": scenario_name,
+                    "method": method,
+                    "direction": f"{split.source}->{split.target}",
+                    "interactions": group.label,
+                    "MRR": metrics["MRR"],
+                    "NDCG@10": metrics["NDCG@10"],
+                    "HR@10": metrics["HR@10"],
+                    "records": metrics["records"],
+                })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — Lagrangian multiplier sweep
+# --------------------------------------------------------------------------- #
+def run_beta_sweep(scenario_name: str,
+                   betas: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+                   profile: Optional[ExperimentProfile] = None) -> List[ROW]:
+    """Figure 5: effect of the Lagrangian multiplier beta on CDRIB."""
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    evaluator = make_evaluator(scenario, profile)
+    rows: List[ROW] = []
+    for beta in betas:
+        config = profile.cdrib.variant(beta1=beta, beta2=beta)
+        trainer = train_cdrib(scenario, config)
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                trainer.make_scorer(split.source, split.target),
+                split.source, split.target,
+            )
+            row = _result_row(scenario_name, "CDRIB", split, result)
+            row["beta"] = beta
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — VBGE layer count sweep
+# --------------------------------------------------------------------------- #
+def run_layer_sweep(scenario_name: str,
+                    layer_counts: Sequence[int] = (1, 2, 3, 4),
+                    profile: Optional[ExperimentProfile] = None) -> List[ROW]:
+    """Figure 6: effect of the number of VBGE propagation layers."""
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    evaluator = make_evaluator(scenario, profile)
+    rows: List[ROW] = []
+    for layers in layer_counts:
+        config = profile.cdrib.variant(num_layers=layers)
+        trainer = train_cdrib(scenario, config)
+        for split in scenario.directions:
+            result = evaluator.evaluate_direction(
+                trainer.make_scorer(split.source, split.target),
+                split.source, split.target,
+            )
+            row = _result_row(scenario_name, "CDRIB", split, result)
+            row["num_layers"] = layers
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _result_row(scenario_name: str, method: str, split, result) -> ROW:
+    metrics = result.metrics.as_dict()
+    return {
+        "scenario": scenario_name,
+        "method": method,
+        "direction": f"{split.source}->{split.target}",
+        "target_domain": split.target,
+        "MRR": metrics["MRR"],
+        "NDCG@5": metrics["NDCG@5"],
+        "NDCG@10": metrics["NDCG@10"],
+        "HR@1": metrics["HR@1"],
+        "HR@5": metrics["HR@5"],
+        "HR@10": metrics["HR@10"],
+        "records": metrics["records"],
+    }
+
+
+def format_rows(rows: List[ROW], columns: Optional[Sequence[str]] = None,
+                float_digits: int = 2) -> str:
+    """Render result rows as an aligned plain-text table (for bench output)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    widths = {c: max(len(str(c)), max(len(fmt(r.get(c, ""))) for r in rows)) for c in columns}
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(fmt(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

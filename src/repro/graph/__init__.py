@@ -1,0 +1,5 @@
+"""Bipartite interaction-graph utilities."""
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["BipartiteGraph"]

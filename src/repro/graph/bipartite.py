@@ -1,0 +1,161 @@
+"""Bipartite user-item interaction graphs.
+
+The VBGE encoder of CDRIB consumes two directed views of the interaction
+matrix ``A`` (|U| x |V|):
+
+* ``A`` itself — edges from items to users (Eq. 3 aggregates item-side
+  interim representations into user representations), and
+* ``A^T`` — edges from users to items (Eq. 2 builds the item-side interim
+  representations from user embeddings).
+
+This module wraps interaction edge lists into sparse CSR adjacencies, caches
+their row-normalised variants and exposes the degree statistics used by the
+data-preprocessing and evaluation code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd.sparse import row_normalize, symmetric_normalize
+
+
+class BipartiteGraph:
+    """Immutable user-item interaction graph for one domain.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Size of the two node partitions.
+    edges:
+        Integer array of shape (n_edges, 2) with columns (user_idx, item_idx).
+        Duplicate edges are collapsed.
+    """
+
+    def __init__(self, num_users: int, num_items: int, edges: np.ndarray):
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (n, 2), got {edges.shape}")
+        if edges.size and (edges[:, 0].max() >= num_users or edges[:, 0].min() < 0):
+            raise ValueError("user index out of range")
+        if edges.size and (edges[:, 1].max() >= num_items or edges[:, 1].min() < 0):
+            raise ValueError("item index out of range")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        # Collapse duplicates while keeping deterministic ordering.
+        if edges.size:
+            edges = np.unique(edges, axis=0)
+        self.edges = edges
+        self._adjacency: Optional[sp.csr_matrix] = None
+        self._cache: Dict[str, sp.csr_matrix] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of observed entries of the |U| x |V| interaction matrix."""
+        total = self.num_users * self.num_items
+        return self.num_edges / total if total else 0.0
+
+    def user_degrees(self) -> np.ndarray:
+        """Number of interactions per user."""
+        return np.asarray(self.adjacency().sum(axis=1)).ravel().astype(np.int64)
+
+    def item_degrees(self) -> np.ndarray:
+        """Number of interactions per item."""
+        return np.asarray(self.adjacency().sum(axis=0)).ravel().astype(np.int64)
+
+    def items_of_user(self, user: int) -> np.ndarray:
+        """Return the item indices the user interacted with."""
+        adj = self.adjacency()
+        start, end = adj.indptr[user], adj.indptr[user + 1]
+        return adj.indices[start:end].astype(np.int64)
+
+    def user_item_set(self) -> Dict[int, set]:
+        """Map every user to the set of interacted items (for negative sampling)."""
+        mapping: Dict[int, set] = {}
+        adj = self.adjacency()
+        for user in range(self.num_users):
+            start, end = adj.indptr[user], adj.indptr[user + 1]
+            mapping[user] = set(adj.indices[start:end].tolist())
+        return mapping
+
+    # ------------------------------------------------------------------ #
+    # Sparse matrices
+    # ------------------------------------------------------------------ #
+    def adjacency(self) -> sp.csr_matrix:
+        """Binary |U| x |V| interaction matrix ``A``."""
+        if self._adjacency is None:
+            if self.num_edges:
+                data = np.ones(self.num_edges, dtype=np.float64)
+                self._adjacency = sp.csr_matrix(
+                    (data, (self.edges[:, 0], self.edges[:, 1])),
+                    shape=(self.num_users, self.num_items),
+                )
+            else:
+                self._adjacency = sp.csr_matrix((self.num_users, self.num_items))
+        return self._adjacency
+
+    def adjacency_t(self) -> sp.csr_matrix:
+        """Transposed interaction matrix ``A^T`` (|V| x |U|)."""
+        return self._cached("adj_t", lambda: self.adjacency().T.tocsr())
+
+    def norm_user_to_item(self) -> sp.csr_matrix:
+        """Row-normalised ``A^T``: Norm((A)^T) in Eq. 2."""
+        return self._cached("norm_u2i", lambda: row_normalize(self.adjacency_t()))
+
+    def norm_item_to_user(self) -> sp.csr_matrix:
+        """Row-normalised ``A``: Norm(A) in Eq. 3."""
+        return self._cached("norm_i2u", lambda: row_normalize(self.adjacency()))
+
+    def joint_normalized_adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
+        """Symmetric-normalised (|U|+|V|) square adjacency for GCN baselines.
+
+        The layout is ``[[0, A], [A^T, 0]]`` with users first, items second,
+        which is what NGCF/PPGN-style propagation expects.
+        """
+        def build():
+            adj = self.adjacency()
+            upper = sp.hstack([sp.csr_matrix((self.num_users, self.num_users)), adj])
+            lower = sp.hstack([adj.T, sp.csr_matrix((self.num_items, self.num_items))])
+            joint = sp.vstack([upper, lower]).tocsr()
+            if add_self_loops:
+                joint = joint + sp.eye(joint.shape[0], format="csr")
+            return symmetric_normalize(joint)
+
+        key = f"joint_{add_self_loops}"
+        return self._cached(key, build)
+
+    def _cached(self, key: str, builder) -> sp.csr_matrix:
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph_without_users(self, users) -> "BipartiteGraph":
+        """Return a copy with every edge of the given users removed.
+
+        The node index space is preserved so representations remain aligned;
+        this is how cold-start users are hidden from their target domain.
+        """
+        users = np.asarray(list(users), dtype=np.int64)
+        if users.size == 0:
+            return BipartiteGraph(self.num_users, self.num_items, self.edges.copy())
+        mask = ~np.isin(self.edges[:, 0], users)
+        return BipartiteGraph(self.num_users, self.num_items, self.edges[mask])
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"edges={self.num_edges}, density={self.density:.4%})"
+        )

@@ -1,0 +1,17 @@
+"""Minimal neural-network layer library on top of :mod:`repro.autograd`."""
+
+from . import init
+from .layers import MLP, Activation, Dropout, Embedding, Linear, Sequential
+from .module import Module, Parameter
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "Activation",
+    "Sequential",
+    "MLP",
+    "init",
+]

@@ -1,0 +1,45 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _compute_fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _compute_fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return generator.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Plain Gaussian initialisation (the usual choice for embedding tables)."""
+    generator = rng if rng is not None else np.random.default_rng()
+    return generator.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

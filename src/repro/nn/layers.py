@@ -1,0 +1,153 @@
+"""Standard neural-network layers built on the autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to include the additive bias term.
+    rng:
+        Generator used for Xavier initialisation (keeps runs reproducible).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng),
+                                name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of dense vectors, one per discrete id.
+
+    The embedding layer of CDRIB (Section III-A) is four such tables, one per
+    user/item set per domain.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, std: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std, rng=rng),
+                                name="weight")
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return ops.index_select(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """Return the full table as a tensor (used by full-graph encoders)."""
+        return self.weight
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, rate: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.rate, training=self.training, rng=self._rng)
+
+
+class Activation(Module):
+    """Wrap a functional activation as a module for use in Sequential."""
+
+    _FUNCTIONS: dict = {
+        "sigmoid": ops.sigmoid,
+        "tanh": ops.tanh,
+        "relu": ops.relu,
+        "leaky_relu": ops.leaky_relu,
+        "softplus": ops.softplus,
+        "identity": lambda x: x,
+    }
+
+    def __init__(self, name: str = "relu", **kwargs):
+        super().__init__()
+        if name not in self._FUNCTIONS:
+            raise ValueError(f"unknown activation {name!r}; choose from {sorted(self._FUNCTIONS)}")
+        self.name = name
+        self._kwargs = kwargs
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._FUNCTIONS[self.name](x, **self._kwargs)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            self.register_module(f"layer_{index}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self):
+        return len(self.layers)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    Used both for the EMCDR mapping function (F -> 2F -> F as in the paper's
+    setup) and for the contrastive discriminator D (three-layer MLP,
+    Eq. 15).
+    """
+
+    def __init__(self, dims: Sequence[int], activation: str = "relu",
+                 final_activation: Optional[str] = None, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        self.dims = list(dims)
+        layers: list = []
+        for index in range(len(dims) - 1):
+            layers.append(Linear(dims[index], dims[index + 1], rng=rng))
+            is_last = index == len(dims) - 2
+            if not is_last:
+                layers.append(Activation(activation))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng=rng))
+            elif final_activation is not None:
+                layers.append(Activation(final_activation))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

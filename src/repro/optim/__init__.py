@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedules."""
+
+from .optimizers import Adam, Optimizer, SGD, clip_grad_norm
+from .schedules import ExponentialLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "ExponentialLR"]

@@ -1,0 +1,116 @@
+"""Gradient-based optimizers.
+
+The paper trains CDRIB with Adam and the baselines with the optimizers from
+their original papers (SGD or Adam); both are provided here together with
+L2 weight decay and global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and common utilities."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _effective_grad(self, param: Parameter) -> Optional[np.ndarray]:
+        if param.grad is None:
+            return None
+        if self.weight_decay > 0:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            if self.momentum > 0:
+                self._velocity[index] = self.momentum * self._velocity[index] + grad
+                update = self._velocity[index]
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used for CDRIB."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.001,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, param in enumerate(self.parameters):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (useful for logging / tests).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total

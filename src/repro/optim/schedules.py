@@ -1,0 +1,41 @@
+"""Learning-rate schedules (simple multiplicative and step decays)."""
+
+from __future__ import annotations
+
+from .optimizers import Optimizer
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the (possibly updated) learning rate."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class ExponentialLR:
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.gamma = gamma
+
+    def step(self) -> float:
+        """Advance one epoch and return the updated learning rate."""
+        self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

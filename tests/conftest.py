@@ -1,0 +1,77 @@
+"""Shared fixtures for the test-suite: tiny synthetic scenarios and RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig
+from repro.core import CDRIBConfig
+from repro.data import (
+    InteractionTable,
+    SyntheticConfig,
+    SyntheticCrossDomainGenerator,
+    build_scenario,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_tables():
+    """Two tiny raw interaction tables with a known overlapping-user set."""
+    config = SyntheticConfig(
+        num_overlap_users=40, num_specific_users_x=20, num_specific_users_y=20,
+        num_items_x=60, num_items_y=60, min_interactions=6, max_interactions=15,
+        seed=7,
+    )
+    data = SyntheticCrossDomainGenerator(config).generate()
+    return data
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario(tiny_tables):
+    """A fully assembled tiny scenario (no heavy filtering so nothing collapses)."""
+    return build_scenario(
+        tiny_tables.table_x, tiny_tables.table_y,
+        cold_start_ratio=0.2, min_user_interactions=3, min_item_interactions=2, seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A slightly larger scenario used by the integration tests."""
+    config = SyntheticConfig(
+        num_overlap_users=90, num_specific_users_x=40, num_specific_users_y=40,
+        num_items_x=110, num_items_y=110, seed=5,
+        shared_strength=1.4, specific_strength=0.4, popularity_strength=0.3,
+    )
+    data = SyntheticCrossDomainGenerator(config).generate()
+    return build_scenario(data.table_x, data.table_y, cold_start_ratio=0.2,
+                          min_user_interactions=3, min_item_interactions=2, seed=5)
+
+
+@pytest.fixture
+def fast_cdrib_config():
+    return CDRIBConfig(embedding_dim=16, num_layers=1, epochs=3, batch_size=128,
+                       num_negatives=2, learning_rate=0.02, seed=0)
+
+
+@pytest.fixture
+def fast_baseline_config():
+    return BaselineConfig(embedding_dim=16, epochs=2, mapping_epochs=8, batch_size=128,
+                          num_negatives=2, num_layers=1, seed=0)
+
+
+@pytest.fixture
+def handmade_table():
+    """A hand-built interaction table with known counts for filter tests."""
+    table = InteractionTable("hand")
+    # user a: 3 interactions, user b: 2, user c: 1; item degrees i1:3, i2:2, i3:1.
+    table.extend([
+        ("a", "i1"), ("a", "i2"), ("a", "i3"),
+        ("b", "i1"), ("b", "i2"),
+        ("c", "i1"),
+    ])
+    return table

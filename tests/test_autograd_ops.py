@@ -1,0 +1,290 @@
+"""Gradient and value checks for every differentiable op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+
+
+def _t(shape, rng, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+@pytest.fixture
+def seeded_rng():
+    return np.random.default_rng(0)
+
+
+class TestElementwiseGradients:
+    def test_add(self, seeded_rng):
+        a, b = _t((3, 4), seeded_rng), _t((3, 4), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.add(x, y)), [a, b])
+
+    def test_add_broadcast(self, seeded_rng):
+        a, b = _t((3, 4), seeded_rng), _t((4,), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.add(x, y)), [a, b])
+
+    def test_sub_broadcast_scalar(self, seeded_rng):
+        a, b = _t((3, 4), seeded_rng), _t((1,), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.sub(x, y)), [a, b])
+
+    def test_mul(self, seeded_rng):
+        a, b = _t((2, 5), seeded_rng), _t((2, 5), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.mul(x, y)), [a, b])
+
+    def test_mul_broadcast_column(self, seeded_rng):
+        a, b = _t((3, 4), seeded_rng), _t((3, 1), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.mul(x, y)), [a, b])
+
+    def test_div(self, seeded_rng):
+        a = _t((3, 3), seeded_rng)
+        b = Tensor(seeded_rng.uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        check_gradients(lambda x, y: ops.sum(ops.div(x, y)), [a, b])
+
+    def test_neg_power(self, seeded_rng):
+        a = Tensor(seeded_rng.uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradients(lambda x: ops.sum(ops.neg(ops.power(x, 3))), [a])
+
+    def test_exp_log(self, seeded_rng):
+        a = Tensor(seeded_rng.uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradients(lambda x: ops.sum(ops.log(ops.exp(x))), [a])
+
+    def test_sqrt(self, seeded_rng):
+        a = Tensor(seeded_rng.uniform(0.5, 4.0, (5,)), requires_grad=True)
+        check_gradients(lambda x: ops.sum(ops.sqrt(x)), [a])
+
+    def test_abs(self, seeded_rng):
+        a = Tensor(np.array([1.5, -2.5, 3.0]), requires_grad=True)
+        check_gradients(lambda x: ops.sum(ops.abs(x)), [a])
+
+    def test_clip_gradient_masked(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = ops.sum(ops.clip(a, -1.0, 1.0))
+        out.backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_minimum_values(self):
+        a = Tensor([1.0, 5.0])
+        b = Tensor([3.0, 2.0])
+        np.testing.assert_allclose(ops.maximum(a, b).data, [3.0, 5.0])
+        np.testing.assert_allclose(ops.minimum(a, b).data, [1.0, 2.0])
+
+    def test_maximum_gradient_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+class TestActivations:
+    def test_sigmoid_gradient(self, seeded_rng):
+        a = _t((4, 3), seeded_rng)
+        check_gradients(lambda x: ops.sum(ops.sigmoid(x)), [a])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh_gradient(self, seeded_rng):
+        a = _t((3, 3), seeded_rng)
+        check_gradients(lambda x: ops.sum(ops.tanh(x)), [a])
+
+    def test_relu_values_and_gradient(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        out = ops.relu(a)
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_leaky_relu_slope(self):
+        a = Tensor([-2.0, 4.0], requires_grad=True)
+        out = ops.leaky_relu(a, negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 4.0])
+        ops.sum(out).backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
+
+    def test_softplus_gradient_and_stability(self, seeded_rng):
+        a = _t((5,), seeded_rng)
+        check_gradients(lambda x: ops.sum(ops.softplus(x)), [a])
+        big = ops.softplus(Tensor([800.0, -800.0]))
+        assert np.all(np.isfinite(big.data))
+
+    def test_log_sigmoid_matches_log_of_sigmoid(self, seeded_rng):
+        a = _t((6,), seeded_rng)
+        np.testing.assert_allclose(
+            ops.log_sigmoid(a).data, np.log(ops.sigmoid(a).data), atol=1e-10
+        )
+        check_gradients(lambda x: ops.sum(ops.log_sigmoid(x)), [a])
+
+    def test_softmax_rows_sum_to_one(self, seeded_rng):
+        a = _t((4, 7), seeded_rng, scale=3.0)
+        out = ops.softmax(a, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_gradient(self, seeded_rng):
+        a = _t((3, 4), seeded_rng)
+        weights = seeded_rng.standard_normal((3, 4))
+        check_gradients(lambda x: ops.sum(ops.mul(ops.softmax(x), weights)), [a])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, seeded_rng):
+        a = _t((3, 4), seeded_rng)
+        assert ops.sum(a, axis=0).shape == (4,)
+        assert ops.sum(a, axis=1, keepdims=True).shape == (3, 1)
+        check_gradients(lambda x: ops.sum(ops.sum(x, axis=1)), [a])
+
+    def test_mean_gradient(self, seeded_rng):
+        a = _t((4, 5), seeded_rng)
+        check_gradients(lambda x: ops.mean(x), [a])
+        check_gradients(lambda x: ops.sum(ops.mean(x, axis=0)), [a])
+
+    def test_reshape_roundtrip_gradient(self, seeded_rng):
+        a = _t((2, 6), seeded_rng)
+        check_gradients(lambda x: ops.sum(ops.mul(ops.reshape(x, (3, 4)), 2.0)), [a])
+
+    def test_transpose_gradient(self, seeded_rng):
+        a = _t((2, 3), seeded_rng)
+        weights = seeded_rng.standard_normal((3, 2))
+        check_gradients(lambda x: ops.sum(ops.mul(ops.transpose(x), weights)), [a])
+
+    def test_concat_values_and_gradient(self, seeded_rng):
+        a, b = _t((2, 3), seeded_rng), _t((2, 2), seeded_rng)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        check_gradients(lambda x, y: ops.sum(ops.concat([x, y], axis=1)), [a, b])
+
+    def test_concat_axis_zero(self, seeded_rng):
+        a, b = _t((2, 3), seeded_rng), _t((4, 3), seeded_rng)
+        assert ops.concat([a, b], axis=0).shape == (6, 3)
+
+    def test_stack_gradient(self, seeded_rng):
+        a, b = _t((3,), seeded_rng), _t((3,), seeded_rng)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        check_gradients(lambda x, y: ops.sum(ops.stack([x, y])), [a, b])
+
+    def test_index_select_gradient_with_repeats(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        index = np.array([0, 0, 2])
+        out = ops.index_select(a, index)
+        ops.sum(out).backward()
+        expected = np.zeros((4, 3))
+        expected[0] = 2.0
+        expected[2] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+
+class TestLinearAlgebra:
+    def test_matmul_gradient(self, seeded_rng):
+        a, b = _t((3, 4), seeded_rng), _t((4, 2), seeded_rng)
+        check_gradients(lambda x, y: ops.sum(ops.matmul(x, y)), [a, b])
+
+    def test_matmul_value(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose(ops.matmul(a, b).data, [[11.0]])
+
+    def test_dot_rows_matches_manual(self, seeded_rng):
+        a, b = _t((5, 3), seeded_rng), _t((5, 3), seeded_rng)
+        np.testing.assert_allclose(
+            ops.dot_rows(a, b).data, np.sum(a.data * b.data, axis=-1)
+        )
+        check_gradients(lambda x, y: ops.sum(ops.dot_rows(x, y)), [a, b])
+
+
+class TestStochasticAndLosses:
+    def test_dropout_eval_is_identity(self, seeded_rng):
+        a = _t((10, 10), seeded_rng)
+        out = ops.dropout(a, 0.5, training=False)
+        np.testing.assert_allclose(out.data, a.data)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones((200, 200)))
+        out = ops.dropout(a, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor([1.0]), 1.5, training=True)
+
+    def test_reparameterize_gradients(self, seeded_rng):
+        mu = _t((4, 3), seeded_rng)
+        sigma = Tensor(seeded_rng.uniform(0.5, 1.5, (4, 3)), requires_grad=True)
+        noise = seeded_rng.standard_normal((4, 3))
+        check_gradients(
+            lambda m, s: ops.sum(ops.gaussian_reparameterize(m, s, noise=noise)),
+            [mu, sigma],
+        )
+
+    def test_reparameterize_value(self):
+        mu = Tensor([[1.0]])
+        sigma = Tensor([[2.0]])
+        out = ops.gaussian_reparameterize(mu, sigma, noise=np.array([[0.5]]))
+        np.testing.assert_allclose(out.data, [[2.0]])
+
+    def test_gaussian_kl_zero_at_prior(self):
+        mu = Tensor(np.zeros((5, 4)))
+        sigma = Tensor(np.ones((5, 4)))
+        assert ops.gaussian_kl(mu, sigma).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_gaussian_kl_positive_away_from_prior(self, seeded_rng):
+        mu = Tensor(seeded_rng.standard_normal((5, 4)))
+        sigma = Tensor(seeded_rng.uniform(0.2, 0.8, (5, 4)))
+        assert ops.gaussian_kl(mu, sigma).item() > 0
+
+    def test_gaussian_kl_gradient(self, seeded_rng):
+        mu = _t((3, 2), seeded_rng)
+        sigma = Tensor(seeded_rng.uniform(0.5, 1.5, (3, 2)), requires_grad=True)
+        check_gradients(lambda m, s: ops.gaussian_kl(m, s, reduce="sum"), [mu, sigma])
+
+    def test_gaussian_kl_reduce_modes(self, seeded_rng):
+        mu = Tensor(seeded_rng.standard_normal((6, 4)))
+        sigma = Tensor(seeded_rng.uniform(0.5, 1.5, (6, 4)))
+        per_row = ops.gaussian_kl(mu, sigma, reduce="none")
+        assert per_row.shape == (6,)
+        assert ops.gaussian_kl(mu, sigma, reduce="sum").item() == pytest.approx(
+            per_row.data.sum()
+        )
+        with pytest.raises(ValueError):
+            ops.gaussian_kl(mu, sigma, reduce="bogus")
+
+    def test_bce_with_logits_matches_reference(self, seeded_rng):
+        logits = seeded_rng.standard_normal(20)
+        targets = (seeded_rng.random(20) > 0.5).astype(float)
+        loss = ops.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        reference = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert loss.item() == pytest.approx(reference, rel=1e-8)
+
+    def test_bce_with_logits_gradient(self, seeded_rng):
+        logits = _t((10,), seeded_rng)
+        targets = (seeded_rng.random(10) > 0.5).astype(float)
+        check_gradients(
+            lambda x: ops.binary_cross_entropy_with_logits(x, targets, reduce="sum"),
+            [logits],
+        )
+
+    def test_bce_extreme_logits_stable(self):
+        loss = ops.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_mse_loss(self, seeded_rng):
+        a = _t((4, 3), seeded_rng)
+        target = seeded_rng.standard_normal((4, 3))
+        loss = ops.mse_loss(a, target)
+        assert loss.item() == pytest.approx(((a.data - target) ** 2).mean())
+        check_gradients(lambda x: ops.mse_loss(x, target, reduce="sum"), [a])
+
+    def test_reduce_mode_validation(self):
+        with pytest.raises(ValueError):
+            ops.mse_loss(Tensor([1.0]), np.array([1.0]), reduce="bogus")
+        with pytest.raises(ValueError):
+            ops.binary_cross_entropy_with_logits(Tensor([1.0]), np.array([1.0]),
+                                                 reduce="bogus")

@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the autograd substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, ops
+
+SMALL_FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                         allow_infinity=False)
+
+
+def arrays(max_rows=5, max_cols=5):
+    shapes = st.tuples(st.integers(1, max_rows), st.integers(1, max_cols))
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(np.float64, shape, elements=SMALL_FLOATS)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sigmoid_output_is_probability(values):
+    out = ops.sigmoid(Tensor(values)).data
+    assert np.all(out >= 0.0)
+    assert np.all(out <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_softplus_is_nonnegative_and_above_input(values):
+    out = ops.softplus(Tensor(values)).data
+    assert np.all(out >= 0.0)
+    assert np.all(out >= values - 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_softmax_rows_are_distributions(values):
+    out = ops.softmax(Tensor(values), axis=-1).data
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[0]), atol=1e-9)
+    assert np.all(out >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_add_commutes(values):
+    a = Tensor(values)
+    b = Tensor(values[::-1].copy())
+    np.testing.assert_allclose(ops.add(a, b).data, ops.add(b, a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), st.floats(min_value=0.05, max_value=3.0))
+def test_gaussian_kl_is_nonnegative(mu_values, sigma_scale):
+    mu = Tensor(mu_values)
+    sigma = Tensor(np.full_like(mu_values, sigma_scale))
+    kl = ops.gaussian_kl(mu, sigma).item()
+    assert kl >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_bce_with_logits_is_nonnegative(logits):
+    targets = (logits > 0).astype(float)
+    loss = ops.binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+    assert loss >= -1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_rows=4, max_cols=4))
+def test_sum_backward_is_ones(values):
+    tensor = Tensor(values, requires_grad=True)
+    ops.sum(tensor).backward()
+    np.testing.assert_allclose(tensor.grad, np.ones_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_rows=4, max_cols=4), arrays(max_rows=1, max_cols=4))
+def test_broadcast_backward_shapes_match_inputs(a_values, b_values):
+    # Align the trailing dimension so broadcasting applies across rows.
+    cols = min(a_values.shape[1], b_values.shape[1])
+    a = Tensor(a_values[:, :cols], requires_grad=True)
+    b = Tensor(b_values[:1, :cols], requires_grad=True)
+    ops.sum(ops.mul(a, b)).backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape

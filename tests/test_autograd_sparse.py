@@ -1,0 +1,68 @@
+"""Tests for sparse-matrix operations and graph normalisations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, row_normalize, sparse_matmul, symmetric_normalize
+
+
+class TestSparseMatmul:
+    def test_matches_dense_product(self):
+        rng = np.random.default_rng(0)
+        dense_matrix = (rng.random((5, 7)) < 0.4).astype(float)
+        matrix = sp.csr_matrix(dense_matrix)
+        x = Tensor(rng.standard_normal((7, 3)))
+        out = sparse_matmul(matrix, x)
+        np.testing.assert_allclose(out.data, dense_matrix @ x.data)
+
+    def test_gradient_is_transpose_product(self):
+        rng = np.random.default_rng(1)
+        dense_matrix = (rng.random((4, 6)) < 0.5).astype(float)
+        matrix = sp.csr_matrix(dense_matrix)
+        x = Tensor(rng.standard_normal((6, 2)), requires_grad=True)
+        out = sparse_matmul(matrix, x)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+        np.testing.assert_allclose(x.grad, dense_matrix.T @ upstream)
+
+    def test_accepts_dense_ndarray(self):
+        matrix = np.eye(3)
+        x = Tensor(np.arange(6.0).reshape(3, 2))
+        np.testing.assert_allclose(sparse_matmul(matrix, x).data, x.data)
+
+    def test_shape_mismatch_raises(self):
+        matrix = sp.eye(3, format="csr")
+        with pytest.raises(ValueError):
+            sparse_matmul(matrix, Tensor(np.zeros((4, 2))))
+
+    def test_constant_input_produces_constant_output(self):
+        matrix = sp.eye(2, format="csr")
+        x = Tensor(np.ones((2, 2)))  # no grad required
+        out = sparse_matmul(matrix, x)
+        assert out._parents == ()
+
+
+class TestNormalisations:
+    def test_row_normalize_rows_sum_to_one(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 1.0, 0.0], [0.0, 2.0, 2.0]]))
+        normalised = row_normalize(matrix)
+        np.testing.assert_allclose(np.asarray(normalised.sum(axis=1)).ravel(), [1.0, 1.0])
+
+    def test_row_normalize_handles_zero_rows(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        normalised = row_normalize(matrix)
+        np.testing.assert_allclose(normalised.toarray()[0], [0.0, 0.0])
+        assert np.all(np.isfinite(normalised.toarray()))
+
+    def test_symmetric_normalize_known_values(self):
+        # Two nodes connected by one edge plus self-loops.
+        adjacency = np.array([[1.0, 1.0], [1.0, 1.0]])
+        normalised = symmetric_normalize(adjacency).toarray()
+        np.testing.assert_allclose(normalised, np.full((2, 2), 0.5))
+
+    def test_symmetric_normalize_isolated_node(self):
+        adjacency = np.array([[0.0, 0.0], [0.0, 1.0]])
+        normalised = symmetric_normalize(adjacency).toarray()
+        assert np.all(np.isfinite(normalised))
+        np.testing.assert_allclose(normalised[0], [0.0, 0.0])

@@ -1,0 +1,179 @@
+"""Tests for the Tensor class and the autograd engine itself."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
+from repro.autograd import ops
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_construction_casts_dtype(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = zeros((4, 3))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True, name="w")
+        text = repr(t)
+        assert "requires_grad=True" in text
+        assert "w" in text
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert b.requires_grad is False
+        assert b._parents == ()
+
+    def test_copy_is_independent(self):
+        a = Tensor([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_as_tensor_from_array(self):
+        t = as_tensor(np.ones(3))
+        assert isinstance(t, Tensor)
+        assert t.shape == (3,)
+
+    def test_factories(self):
+        assert np.all(zeros((2, 2)).data == 0)
+        assert np.all(ones((2, 2)).data == 1)
+        assert randn(2, 3, rng=np.random.default_rng(0)).shape == (2, 3)
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+
+    def test_backward_requires_scalar_without_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(ValueError):
+            out.backward()
+
+    def test_backward_with_explicit_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 3.0
+        out.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulation(self):
+        # z = x*y + x*y reuses the same intermediate twice.
+        x = Tensor([2.0], requires_grad=True)
+        y = Tensor([3.0], requires_grad=True)
+        xy = x * y
+        z = (xy + xy).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+        np.testing.assert_allclose(y.grad, [4.0])
+
+    def test_branching_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        loss = (a + b).sum()
+        loss.backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_no_grad_for_constant_inputs(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        loss = (a * b).sum()
+        loss.backward()
+        assert a.grad is None
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_deep_chain_does_not_recurse(self):
+        # The topological sort is iterative, so a deep chain must not hit the
+        # Python recursion limit.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2.0
+        assert is_grad_enabled()
+        assert out._parents == ()
+
+    def test_no_grad_restores_state_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestOperatorOverloads:
+    def test_radd_rsub_rmul_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        np.testing.assert_allclose((1.0 + a).data, [3.0])
+        np.testing.assert_allclose((5.0 - a).data, [3.0])
+        np.testing.assert_allclose((3.0 * a).data, [6.0])
+        np.testing.assert_allclose((8.0 / a).data, [4.0])
+
+    def test_neg_and_pow(self):
+        a = Tensor([2.0, -3.0])
+        np.testing.assert_allclose((-a).data, [-2.0, 3.0])
+        np.testing.assert_allclose((a ** 2).data, [4.0, 9.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_getitem_indexing(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = a[np.array([0, 2])]
+        assert out.shape == (2, 3)
+
+    def test_transpose_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_method_chaining(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        out = a.reshape(4).mean()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 0.25))

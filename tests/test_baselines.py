@@ -1,0 +1,137 @@
+"""Tests for the baseline recommenders and their registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    BASELINE_FACTORIES,
+    BaselineConfig,
+    CROSS_DOMAIN_BASELINES,
+    EMCDR_FAMILY_BASELINES,
+    FactorizationModel,
+    SINGLE_DOMAIN_BASELINES,
+    make_baseline,
+)
+from repro.baselines.emcdr import pretrain_domain
+from repro.eval import LeaveOneOutEvaluator
+
+
+class TestRegistry:
+    def test_all_names_have_factories(self):
+        assert set(ALL_BASELINES) == set(BASELINE_FACTORIES)
+
+    def test_family_partition(self):
+        combined = SINGLE_DOMAIN_BASELINES + CROSS_DOMAIN_BASELINES + EMCDR_FAMILY_BASELINES
+        assert sorted(combined) == sorted(ALL_BASELINES)
+        assert len(set(combined)) == len(combined)
+
+    def test_paper_baseline_names_present(self):
+        for name in ("CML", "BPRMF", "NGCF", "VBGE", "CoNet", "STAR", "PPGN",
+                     "EMCDR(CML)", "EMCDR(BPRMF)", "EMCDR(NGCF)", "SSCDR",
+                     "TMCDR", "SA-VAE"):
+            assert name in ALL_BASELINES
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            make_baseline("DreamRec")
+
+    def test_make_baseline_default_config(self):
+        model = make_baseline("BPRMF")
+        assert isinstance(model.config, BaselineConfig)
+
+
+class TestBaselineConfig:
+    def test_variant(self):
+        config = BaselineConfig(epochs=10)
+        changed = config.variant(epochs=3, embedding_dim=8)
+        assert changed.epochs == 3 and changed.embedding_dim == 8
+        assert config.epochs == 10
+
+
+class TestFactorizationModel:
+    def test_bpr_learns_to_rank_training_edges(self, tiny_scenario):
+        domain = tiny_scenario.domain_x
+        config = BaselineConfig(embedding_dim=16, epochs=8, batch_size=256,
+                                num_negatives=2, learning_rate=0.05)
+        model = FactorizationModel(domain.num_users, domain.num_items, config, loss="bpr")
+        model.fit(domain.graph)
+        rng = np.random.default_rng(0)
+        edges = domain.graph.edges
+        picks = rng.choice(edges.shape[0], size=200)
+        users, positives = edges[picks, 0], edges[picks, 1]
+        negatives = rng.integers(0, domain.num_items, 200)
+        pos_scores = model.score(users, positives)
+        neg_scores = model.score(users, negatives)
+        assert (pos_scores > neg_scores).mean() > 0.65
+
+    def test_cml_scores_are_negative_distances(self, tiny_scenario):
+        domain = tiny_scenario.domain_x
+        config = BaselineConfig(embedding_dim=8, epochs=1)
+        model = FactorizationModel(domain.num_users, domain.num_items, config, loss="cml")
+        scores = model.score(np.array([0, 1]), np.array([0, 1]))
+        assert np.all(scores <= 0)
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(ValueError):
+            FactorizationModel(5, 5, BaselineConfig(), loss="hinge2")
+
+
+class TestPretraining:
+    @pytest.mark.parametrize("method", ["bprmf", "cml", "ngcf"])
+    def test_pretrain_produces_vectors(self, tiny_scenario, fast_baseline_config, method):
+        domain = tiny_scenario.domain_x
+        pretrained = pretrain_domain(domain, fast_baseline_config, method)
+        assert pretrained.user_vectors.shape[0] == domain.num_users
+        assert pretrained.item_vectors.shape[0] == domain.num_items
+        assert np.all(np.isfinite(pretrained.user_vectors))
+
+    def test_unknown_pretrain_method(self, tiny_scenario, fast_baseline_config):
+        with pytest.raises(ValueError):
+            pretrain_domain(tiny_scenario.domain_x, fast_baseline_config, "svdpp")
+
+
+@pytest.mark.parametrize("name", ALL_BASELINES)
+def test_every_baseline_fits_and_scores(name, tiny_scenario, fast_baseline_config):
+    """Every registered baseline must train and return finite pairwise scores."""
+    model = make_baseline(name, fast_baseline_config)
+    model.fit(tiny_scenario)
+    for split in tiny_scenario.directions:
+        scorer = model.scorer(split.source, split.target)
+        user = split.test[0].source_user if split.test else split.validation[0].source_user
+        users = np.full(6, user, dtype=np.int64)
+        items = np.arange(6)
+        scores = np.asarray(scorer(users, items))
+        assert scores.shape == (6,)
+        assert np.all(np.isfinite(scores))
+
+
+@pytest.mark.parametrize("name", ["BPRMF", "EMCDR(BPRMF)"])
+def test_scorer_requires_fit(name, fast_baseline_config):
+    model = make_baseline(name, fast_baseline_config)
+    with pytest.raises(RuntimeError):
+        model.scorer("a", "b")
+
+
+def test_emcdr_beats_its_pretraining_on_cold_start(small_scenario):
+    """EMCDR's mapping should help over scoring with the *source* embeddings
+    directly (which are not aligned with the target item space at all)."""
+    config = BaselineConfig(embedding_dim=16, epochs=6, mapping_epochs=40,
+                            batch_size=256, num_negatives=2, seed=1)
+    evaluator = LeaveOneOutEvaluator(small_scenario, num_negatives=50, seed=0,
+                                     max_users_per_direction=15)
+    emcdr = make_baseline("EMCDR(BPRMF)", config).fit(small_scenario)
+    split = small_scenario.x_to_y
+    mapped = evaluator.evaluate_direction(
+        emcdr.scorer(split.source, split.target), split.source, split.target
+    )
+
+    # Unaligned scorer: source-domain user embedding dotted with target items.
+    source_vectors = emcdr._pair.pretrained[split.source].user_vectors
+    target_items = emcdr._pair.pretrained[split.target].item_vectors
+
+    def unaligned(users, items):
+        return np.sum(source_vectors[users] * target_items[items], axis=-1)
+
+    baseline = evaluator.evaluate_direction(unaligned, split.source, split.target)
+    assert mapped.metrics.mrr >= baseline.metrics.mrr * 0.8

@@ -1,0 +1,60 @@
+"""Tests for the Amazon ratings-file loader (the real-data entry point)."""
+
+import pytest
+
+from repro.data import build_scenario, load_amazon_ratings
+
+
+@pytest.fixture
+def ratings_file(tmp_path):
+    """A miniature ratings_*.csv in the Amazon dump format (no header)."""
+    lines = [
+        "u1,i1,5.0,1400000000",
+        "u1,i2,4.0,1400000001",
+        "u2,i1,1.0,1400000002",
+        "u2,i3,3.0,1400000003",
+        "u3,i2,2.0,1400000004",
+        "u1,i1,5.0,1400000005",   # duplicate pair, kept by the raw loader
+        "bad_row_with_one_field",
+    ]
+    path = tmp_path / "ratings_Test_Category.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestLoader:
+    def test_loads_all_valid_rows(self, ratings_file):
+        table = load_amazon_ratings(ratings_file)
+        assert table.num_interactions == 6  # malformed row skipped
+        assert set(table.users()) == {"u1", "u2", "u3"}
+        assert set(table.items()) == {"i1", "i2", "i3"}
+
+    def test_name_defaults_to_file_stem(self, ratings_file):
+        table = load_amazon_ratings(ratings_file)
+        assert table.name == "ratings_Test_Category"
+        assert load_amazon_ratings(ratings_file, name="music").name == "music"
+
+    def test_min_rating_filter(self, ratings_file):
+        table = load_amazon_ratings(ratings_file, min_rating=3.0)
+        assert ("u2", "i1") not in table.pairs      # rating 1.0 dropped
+        assert ("u2", "i3") in table.pairs          # rating 3.0 kept
+
+    def test_max_rows_cap(self, ratings_file):
+        table = load_amazon_ratings(ratings_file, max_rows=2)
+        assert table.num_interactions == 2
+
+    def test_missing_file_raises_with_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_amazon_ratings(str(tmp_path / "nope.csv"))
+        assert "synthetic" in str(excinfo.value)
+
+    def test_loaded_tables_feed_the_scenario_builder(self, ratings_file):
+        # The loader output must be directly usable by build_scenario; with
+        # thresholds of 1 nothing is filtered and the overlap is detected.
+        table_x = load_amazon_ratings(ratings_file, name="x")
+        table_y = load_amazon_ratings(ratings_file, name="y")
+        scenario = build_scenario(table_x, table_y, cold_start_ratio=0.5,
+                                  min_user_interactions=1, min_item_interactions=1,
+                                  seed=0)
+        assert scenario.domain_x.num_users == 3
+        assert scenario.domain_y.num_items == 3

@@ -1,0 +1,100 @@
+"""Tests for raw interaction tables and the paper's k-core preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionTable
+
+
+class TestInteractionTable:
+    def test_add_and_counts(self, handmade_table):
+        assert handmade_table.num_interactions == 6
+        assert handmade_table.user_counts()["a"] == 3
+        assert handmade_table.item_counts()["i1"] == 3
+
+    def test_users_and_items_preserve_order(self, handmade_table):
+        assert handmade_table.users() == ["a", "b", "c"]
+        assert handmade_table.items() == ["i1", "i2", "i3"]
+
+    def test_deduplicate(self):
+        table = InteractionTable("dup", [("u", "i"), ("u", "i"), ("u", "j")])
+        assert table.deduplicate().num_interactions == 2
+
+    def test_len_and_repr(self, handmade_table):
+        assert len(handmade_table) == 6
+        assert "hand" in repr(handmade_table)
+
+    def test_extend(self):
+        table = InteractionTable("x")
+        table.extend([("u1", "i1"), ("u2", "i1")])
+        assert table.num_interactions == 2
+
+
+class TestCoreFilter:
+    def test_filter_drops_sparse_users_and_items(self, handmade_table):
+        filtered = handmade_table.filter_core(min_user_interactions=2,
+                                              min_item_interactions=2)
+        users = set(filtered.users())
+        items = set(filtered.items())
+        assert "c" not in users          # only 1 interaction
+        assert "i3" not in items         # only 1 interaction
+        assert "a" in users and "b" in users
+
+    def test_filter_reaches_fixed_point(self):
+        # Removing item j drops user v below the threshold, which in turn
+        # drops item k: the filter must cascade.
+        table = InteractionTable("cascade", [
+            ("u", "i"), ("u", "k"),
+            ("v", "j"), ("v", "k"),
+            ("w", "i"), ("w", "k"),
+            ("x", "i"), ("x", "k"),
+        ])
+        filtered = table.filter_core(min_user_interactions=2, min_item_interactions=2)
+        remaining_users = set(filtered.users())
+        assert "v" not in remaining_users
+        for user in filtered.user_counts().values():
+            assert user >= 2
+        for item in filtered.item_counts().values():
+            assert item >= 2
+
+    def test_filter_preserves_everything_when_thresholds_low(self, handmade_table):
+        filtered = handmade_table.filter_core(1, 1)
+        assert filtered.num_interactions == handmade_table.num_interactions
+
+    def test_filter_can_empty_the_table(self, handmade_table):
+        filtered = handmade_table.filter_core(10, 10)
+        assert filtered.num_interactions == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                    min_size=0, max_size=60),
+           st.integers(1, 3), st.integers(1, 3))
+    def test_filter_invariants_hold_for_random_tables(self, pairs, min_user, min_item):
+        table = InteractionTable("random", [(f"u{u}", f"i{i}") for u, i in pairs])
+        filtered = table.filter_core(min_user, min_item)
+        user_counts = filtered.user_counts()
+        item_counts = filtered.item_counts()
+        assert all(count >= min_user for count in user_counts.values())
+        assert all(count >= min_item for count in item_counts.values())
+        # Filtering never invents interactions.
+        assert set(filtered.pairs) <= set(table.deduplicate().pairs)
+
+
+class TestIndexing:
+    def test_to_indexed_contiguous(self, handmade_table):
+        edges, users, items = handmade_table.to_indexed()
+        assert edges.shape == (6, 2)
+        assert set(users.values()) == {0, 1, 2}
+        assert set(items.values()) == {0, 1, 2}
+
+    def test_to_indexed_respects_existing_maps(self, handmade_table):
+        edges, users, items = handmade_table.to_indexed(user_index={"a": 5})
+        assert users["a"] == 5
+        assert edges[0, 0] == 5
+
+    def test_to_indexed_empty(self):
+        edges, users, items = InteractionTable("empty").to_indexed()
+        assert edges.shape == (0, 2)
+        assert users == {} and items == {}

@@ -1,0 +1,104 @@
+"""Tests for negative sampling and edge-batch iteration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import EdgeBatchIterator, NegativeSampler
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    edges = np.unique(
+        np.column_stack([rng.integers(0, 20, 300), rng.integers(0, 50, 300)]), axis=0
+    )
+    return BipartiteGraph(20, 50, edges)
+
+
+class TestNegativeSampler:
+    def test_negatives_exclude_interactions(self, graph):
+        sampler = NegativeSampler(graph, seed=1)
+        interacted = graph.user_item_set()
+        for user in range(graph.num_users):
+            negatives = sampler.sample_for_user(user, 10)
+            assert set(negatives.tolist()).isdisjoint(interacted[user])
+
+    def test_negatives_are_unique_per_call(self, graph):
+        sampler = NegativeSampler(graph, seed=2)
+        negatives = sampler.sample_for_user(0, 20)
+        assert len(set(negatives.tolist())) == len(negatives)
+
+    def test_exclude_argument_respected(self, graph):
+        sampler = NegativeSampler(graph, seed=3)
+        banned = {0, 1, 2, 3, 4}
+        negatives = sampler.sample_for_user(0, 15, exclude=banned)
+        assert set(negatives.tolist()).isdisjoint(banned)
+
+    def test_requesting_more_than_available_returns_complement(self):
+        edges = np.array([[0, 0], [0, 1]])
+        graph = BipartiteGraph(1, 5, edges)
+        sampler = NegativeSampler(graph, seed=0)
+        negatives = sampler.sample_for_user(0, 100)
+        assert sorted(negatives.tolist()) == [2, 3, 4]
+
+    def test_user_with_all_items_raises(self):
+        edges = np.array([[0, 0], [0, 1], [0, 2]])
+        graph = BipartiteGraph(1, 3, edges)
+        sampler = NegativeSampler(graph, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_for_user(0, 1)
+
+    def test_sample_batch_shape(self, graph):
+        sampler = NegativeSampler(graph, seed=4)
+        users = np.array([0, 3, 7, 7])
+        batch = sampler.sample_batch(users, num_negatives=3)
+        assert batch.shape == (4, 3)
+
+    def test_sample_batch_pads_when_few_negatives_available(self):
+        edges = np.array([[0, 0], [0, 1], [0, 2]])
+        graph = BipartiteGraph(1, 4, edges)
+        sampler = NegativeSampler(graph, seed=0)
+        batch = sampler.sample_batch(np.array([0]), num_negatives=5)
+        assert batch.shape == (1, 5)
+        assert set(batch.ravel().tolist()) == {3}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 19), st.integers(1, 25))
+    def test_property_negatives_never_positive(self, user, count):
+        rng = np.random.default_rng(7)
+        edges = np.unique(
+            np.column_stack([rng.integers(0, 20, 200), rng.integers(0, 60, 200)]), axis=0
+        )
+        graph = BipartiteGraph(20, 60, edges)
+        sampler = NegativeSampler(graph, seed=11)
+        interacted = graph.user_item_set()[user]
+        negatives = sampler.sample_for_user(user, count)
+        assert set(negatives.tolist()).isdisjoint(interacted)
+
+
+class TestEdgeBatchIterator:
+    def test_one_epoch_covers_every_edge(self, graph):
+        iterator = EdgeBatchIterator(graph, batch_size=32, seed=5)
+        seen = set()
+        for users, positives, _ in iterator:
+            for user, item in zip(users, positives):
+                seen.add((int(user), int(item)))
+        expected = {(int(u), int(i)) for u, i in graph.edges}
+        assert seen == expected
+
+    def test_len_matches_batches(self, graph):
+        iterator = EdgeBatchIterator(graph, batch_size=32)
+        assert len(iterator) == int(np.ceil(graph.num_edges / 32))
+        assert len(list(iterator)) == len(iterator)
+
+    def test_negative_shape(self, graph):
+        iterator = EdgeBatchIterator(graph, batch_size=64, num_negatives=3)
+        users, positives, negatives = next(iter(iterator))
+        assert negatives.shape == (len(users), 3)
+
+    def test_invalid_batch_size(self, graph):
+        with pytest.raises(ValueError):
+            EdgeBatchIterator(graph, batch_size=0)

@@ -1,0 +1,156 @@
+"""Tests for cross-domain scenario assembly, splits and the merged view."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_merged_view, build_scenario, scenario_statistics
+from repro.data.statistics import format_statistics_table
+
+
+class TestScenarioConstruction:
+    def test_domains_named_after_tables(self, tiny_scenario, tiny_tables):
+        assert tiny_scenario.domain_x.name == tiny_tables.table_x.name
+        assert tiny_scenario.domain_y.name == tiny_tables.table_y.name
+
+    def test_overlap_pairs_reference_same_user_key(self, tiny_scenario):
+        reverse_x = {idx: key for key, idx in tiny_scenario.domain_x.user_index.items()}
+        reverse_y = {idx: key for key, idx in tiny_scenario.domain_y.user_index.items()}
+        for idx_x, idx_y in tiny_scenario.overlap_pairs:
+            assert reverse_x[int(idx_x)] == reverse_y[int(idx_y)]
+
+    def test_cold_start_users_have_no_target_training_edges(self, tiny_scenario):
+        for split in tiny_scenario.directions:
+            target_domain = tiny_scenario.domain(split.target)
+            training_users = set(target_domain.graph.edges[:, 0].tolist())
+            for user in split.validation + split.test:
+                target_idx = target_domain.user_index[user.user_key]
+                assert target_idx not in training_users
+
+    def test_cold_start_users_keep_source_edges(self, tiny_scenario):
+        for split in tiny_scenario.directions:
+            source_domain = tiny_scenario.domain(split.source)
+            for user in split.validation + split.test:
+                assert source_domain.graph.items_of_user(user.source_user).size > 0
+
+    def test_cold_start_users_not_in_training_overlap(self, tiny_scenario):
+        cold_keys = {
+            user.user_key
+            for split in tiny_scenario.directions
+            for user in split.validation + split.test
+        }
+        assert cold_keys.isdisjoint(set(tiny_scenario.overlap_user_keys))
+
+    def test_held_out_items_exist_in_full_edge_set(self, tiny_scenario):
+        for split in tiny_scenario.directions:
+            target_domain = tiny_scenario.domain(split.target)
+            full_edges = {(int(u), int(i)) for u, i in target_domain.all_edges}
+            for user in split.validation + split.test:
+                target_idx = target_domain.user_index[user.user_key]
+                for item in user.target_items:
+                    assert (target_idx, int(item)) in full_edges
+
+    def test_source_degree_matches_source_graph(self, tiny_scenario):
+        for split in tiny_scenario.directions:
+            source_domain = tiny_scenario.domain(split.source)
+            degrees = np.zeros(source_domain.num_users, dtype=int)
+            np.add.at(degrees, source_domain.all_edges[:, 0], 1)
+            for user in split.validation + split.test:
+                assert user.source_degree == degrees[user.source_user]
+
+    def test_cold_start_ratio_roughly_respected(self, tiny_scenario):
+        total_overlap = tiny_scenario.num_overlap_train + sum(
+            split.num_cold_start_users for split in tiny_scenario.directions
+        )
+        cold = sum(split.num_cold_start_users for split in tiny_scenario.directions)
+        assert cold <= 0.35 * total_overlap
+        assert cold >= 1
+
+    def test_direction_lookup(self, tiny_scenario):
+        name_x = tiny_scenario.domain_x.name
+        name_y = tiny_scenario.domain_y.name
+        assert tiny_scenario.direction(name_x, name_y).target == name_y
+        with pytest.raises(KeyError):
+            tiny_scenario.direction(name_x, "nope")
+        with pytest.raises(KeyError):
+            tiny_scenario.domain("nope")
+
+    def test_repr(self, tiny_scenario):
+        assert "CDRScenario" in repr(tiny_scenario)
+
+
+class TestOverlapRatio:
+    def test_with_overlap_ratio_subsamples_pairs(self, tiny_scenario):
+        reduced = tiny_scenario.with_overlap_ratio(0.5, seed=1)
+        assert reduced.num_overlap_train == max(1, round(0.5 * tiny_scenario.num_overlap_train))
+        # Evaluation users are untouched.
+        assert reduced.x_to_y.num_test_records == tiny_scenario.x_to_y.num_test_records
+
+    def test_full_ratio_keeps_everything(self, tiny_scenario):
+        assert tiny_scenario.with_overlap_ratio(1.0).num_overlap_train == (
+            tiny_scenario.num_overlap_train
+        )
+
+    def test_invalid_ratio(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            tiny_scenario.with_overlap_ratio(0.0)
+        with pytest.raises(ValueError):
+            tiny_scenario.with_overlap_ratio(1.5)
+
+    def test_subsampled_pairs_are_subset(self, tiny_scenario):
+        reduced = tiny_scenario.with_overlap_ratio(0.4, seed=2)
+        original = {tuple(pair) for pair in tiny_scenario.overlap_pairs.tolist()}
+        for pair in reduced.overlap_pairs.tolist():
+            assert tuple(pair) in original
+
+
+class TestMergedView:
+    def test_merged_edges_count(self, tiny_scenario):
+        merged = build_merged_view(tiny_scenario)
+        expected = (tiny_scenario.domain_x.graph.num_edges
+                    + tiny_scenario.domain_y.graph.num_edges)
+        assert merged.graph.num_edges == expected
+
+    def test_merged_item_space_is_disjoint_union(self, tiny_scenario):
+        merged = build_merged_view(tiny_scenario)
+        assert merged.graph.num_items == (tiny_scenario.domain_x.num_items
+                                          + tiny_scenario.domain_y.num_items)
+        assert merged.item_offset_y == tiny_scenario.domain_x.num_items
+
+    def test_overlap_users_share_one_merged_id(self, tiny_scenario):
+        merged = build_merged_view(tiny_scenario)
+        assert len(merged.user_index) <= (tiny_scenario.domain_x.num_users
+                                          + tiny_scenario.domain_y.num_users)
+        # Every training-overlap user key maps to exactly one merged id.
+        for key in tiny_scenario.overlap_user_keys:
+            assert key in merged.user_index
+
+    def test_cold_start_users_present_in_merged_index(self, tiny_scenario):
+        merged = build_merged_view(tiny_scenario)
+        for split in tiny_scenario.directions:
+            for user in split.validation + split.test:
+                assert user.user_key in merged.user_index
+
+
+class TestStatistics:
+    def test_statistics_rows(self, tiny_scenario):
+        rows = scenario_statistics("tiny", tiny_scenario)
+        assert len(rows) == 2
+        for row in rows:
+            as_dict = row.as_dict()
+            assert as_dict["Training"] > 0
+            assert as_dict["|U|"] > 0
+            assert 0 < as_dict["Density"] < 1
+
+    def test_statistics_counts_match_scenario(self, tiny_scenario):
+        rows = {row.domain: row for row in scenario_statistics("tiny", tiny_scenario)}
+        for split in tiny_scenario.directions:
+            row = rows[split.target]
+            assert row.num_validation == split.num_validation_records
+            assert row.num_test == split.num_test_records
+            assert row.num_cold_start == split.num_cold_start_users
+
+    def test_format_statistics_table(self, tiny_scenario):
+        rows = scenario_statistics("tiny", tiny_scenario)
+        text = format_statistics_table(rows)
+        assert "Density" in text
+        assert format_statistics_table([]) == "(no rows)"

@@ -1,0 +1,102 @@
+"""Tests for the synthetic cross-domain workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_SCENARIOS,
+    SyntheticConfig,
+    SyntheticCrossDomainGenerator,
+    paper_scenario_config,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    config = SyntheticConfig(num_overlap_users=50, num_specific_users_x=25,
+                             num_specific_users_y=25, num_items_x=70, num_items_y=70,
+                             seed=3)
+    return SyntheticCrossDomainGenerator(config).generate()
+
+
+class TestGenerator:
+    def test_overlap_users_appear_in_both_tables(self, generated):
+        users_x = set(generated.table_x.users())
+        users_y = set(generated.table_y.users())
+        for key in generated.overlap_user_keys:
+            assert key in users_x
+            assert key in users_y
+
+    def test_specific_users_stay_in_their_domain(self, generated):
+        users_x = set(generated.table_x.users())
+        users_y = set(generated.table_y.users())
+        assert any(key.startswith("user_x_") for key in users_x)
+        assert not any(key.startswith("user_x_") for key in users_y)
+        assert not any(key.startswith("user_y_") for key in users_x)
+
+    def test_item_keys_are_domain_prefixed(self, generated):
+        assert all(key.startswith(generated.config.name_x) for key in generated.table_x.items())
+        assert all(key.startswith(generated.config.name_y) for key in generated.table_y.items())
+
+    def test_interaction_counts_within_bounds(self, generated):
+        cfg = generated.config
+        cap = max(cfg.min_interactions, cfg.num_items_x // 4)
+        for count in generated.table_x.user_counts().values():
+            assert cfg.min_interactions <= count <= min(cfg.max_interactions, cap)
+
+    def test_no_duplicate_interactions_per_user(self, generated):
+        pairs = generated.table_x.pairs
+        assert len(pairs) == len(set(pairs))
+
+    def test_determinism_with_same_seed(self):
+        config = SyntheticConfig(num_overlap_users=20, num_specific_users_x=10,
+                                 num_specific_users_y=10, num_items_x=40,
+                                 num_items_y=40, seed=9)
+        first = SyntheticCrossDomainGenerator(config).generate()
+        second = SyntheticCrossDomainGenerator(config).generate()
+        assert first.table_x.pairs == second.table_x.pairs
+        assert first.table_y.pairs == second.table_y.pairs
+
+    def test_different_seeds_differ(self):
+        base = SyntheticConfig(num_overlap_users=20, num_specific_users_x=10,
+                               num_specific_users_y=10, num_items_x=40, num_items_y=40)
+        first = SyntheticCrossDomainGenerator(base).generate()
+        other = SyntheticConfig(**{**base.__dict__, "seed": 123})
+        second = SyntheticCrossDomainGenerator(other).generate()
+        assert first.table_x.pairs != second.table_x.pairs
+
+    def test_shared_factors_recorded_for_overlap_users(self, generated):
+        shared = generated.shared_factors["overlap"]
+        assert shared.shape == (generated.config.num_overlap_users,
+                                generated.config.shared_dim)
+
+
+class TestConfig:
+    def test_scaled_reduces_counts(self):
+        config = SyntheticConfig(num_overlap_users=100, num_items_x=200)
+        scaled = config.scaled(0.5)
+        assert scaled.num_overlap_users == 50
+        assert scaled.num_items_x == 100
+        assert scaled.shared_dim == config.shared_dim
+
+    def test_scaled_enforces_minimums(self):
+        config = SyntheticConfig(num_overlap_users=20, num_items_x=30)
+        scaled = config.scaled(0.01)
+        assert scaled.num_overlap_users >= 10
+        assert scaled.num_items_x >= 20
+
+    def test_paper_scenarios_registry(self):
+        assert set(PAPER_SCENARIOS) == {"music_movie", "phone_elec", "cloth_sport",
+                                        "game_video"}
+        config = paper_scenario_config("music_movie")
+        assert config.name_x == "music"
+        assert config.name_y == "movie"
+
+    def test_paper_scenario_scale(self):
+        base = paper_scenario_config("game_video")
+        scaled = paper_scenario_config("game_video", scale=0.5)
+        assert scaled.num_overlap_users == max(10, base.num_overlap_users // 2)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            paper_scenario_config("books_movies")

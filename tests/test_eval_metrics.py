@@ -1,0 +1,108 @@
+"""Tests for ranking metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    aggregate_ranks,
+    hit_rate_at_k,
+    ndcg_at_k,
+    rank_of_positive,
+    reciprocal_rank,
+)
+
+
+class TestSingleRecordMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(1) == 1.0
+        assert reciprocal_rank(4) == pytest.approx(0.25)
+
+    def test_reciprocal_rank_invalid(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank(0)
+
+    def test_ndcg_at_k_values(self):
+        assert ndcg_at_k(1, 5) == pytest.approx(1.0)
+        assert ndcg_at_k(2, 5) == pytest.approx(1.0 / np.log2(3))
+        assert ndcg_at_k(6, 5) == 0.0
+
+    def test_ndcg_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(0, 5)
+        with pytest.raises(ValueError):
+            ndcg_at_k(1, 0)
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k(3, 5) == 1.0
+        assert hit_rate_at_k(6, 5) == 0.0
+        with pytest.raises(ValueError):
+            hit_rate_at_k(0, 5)
+
+
+class TestRankOfPositive:
+    def test_best_and_worst_positions(self):
+        scores = np.array([5.0, 1.0, 2.0, 3.0])
+        assert rank_of_positive(scores, 0) == 1
+        scores = np.array([0.0, 1.0, 2.0, 3.0])
+        assert rank_of_positive(scores, 0) == 4
+
+    def test_pessimistic_vs_optimistic_ties(self):
+        scores = np.array([1.0, 1.0, 1.0])
+        assert rank_of_positive(scores, 0, tie_break="pessimistic") == 3
+        assert rank_of_positive(scores, 0, tie_break="optimistic") == 1
+
+    def test_positive_not_first_index(self):
+        scores = np.array([1.0, 9.0, 5.0])
+        assert rank_of_positive(scores, 1) == 1
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            rank_of_positive(np.array([1.0, 2.0]), 0, tie_break="magic")
+
+
+class TestAggregation:
+    def test_hand_computed_aggregate(self):
+        metrics = aggregate_ranks([1, 2, 11])
+        assert metrics.mrr == pytest.approx((1.0 + 0.5 + 1 / 11) / 3)
+        assert metrics.hit_rate[10] == pytest.approx(2 / 3)
+        assert metrics.hit_rate[1] == pytest.approx(1 / 3)
+        assert metrics.ndcg[5] == pytest.approx((1.0 + 1 / np.log2(3) + 0.0) / 3)
+        assert metrics.num_records == 3
+
+    def test_empty_ranks(self):
+        metrics = aggregate_ranks([])
+        assert metrics.mrr == 0.0
+        assert metrics.num_records == 0
+
+    def test_as_dict_percentage(self):
+        metrics = aggregate_ranks([1, 1])
+        flat = metrics.as_dict(percentage=True)
+        assert flat["MRR"] == pytest.approx(100.0)
+        assert flat["records"] == 2
+        assert aggregate_ranks([1]).as_dict(percentage=False)["MRR"] == pytest.approx(1.0)
+
+    def test_custom_cutoffs(self):
+        metrics = aggregate_ranks([3], ndcg_cutoffs=(3,), hr_cutoffs=(2, 3))
+        assert set(metrics.ndcg) == {3}
+        assert metrics.hit_rate[2] == 0.0
+        assert metrics.hit_rate[3] == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=50))
+    def test_property_metric_bounds(self, ranks):
+        metrics = aggregate_ranks(ranks)
+        assert 0.0 < metrics.mrr <= 1.0
+        for value in metrics.ndcg.values():
+            assert 0.0 <= value <= 1.0
+        for value in metrics.hit_rate.values():
+            assert 0.0 <= value <= 1.0
+        # HR@k is monotone in k.
+        assert metrics.hit_rate[1] <= metrics.hit_rate[5] <= metrics.hit_rate[10]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=30))
+    def test_property_mrr_at_least_hr1(self, ranks):
+        metrics = aggregate_ranks(ranks)
+        assert metrics.mrr >= metrics.hit_rate[1] - 1e-12

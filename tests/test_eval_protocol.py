@@ -1,0 +1,173 @@
+"""Tests for the leave-one-out evaluation protocol, grouping and significance."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LeaveOneOutEvaluator,
+    PAPER_INTERACTION_BUCKETS,
+    group_by_interaction_count,
+    paired_t_test,
+    popularity_scorer,
+    random_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluator(tiny_scenario):
+    return LeaveOneOutEvaluator(tiny_scenario, num_negatives=30, seed=0)
+
+
+def _oracle_scorer(scenario, target_name):
+    """Scorer that knows the held-out ground truth: positives get score 1."""
+    target_domain = scenario.domain(target_name)
+    split = next(s for s in scenario.directions if s.target == target_name)
+    truth = set()
+    for user in split.validation + split.test:
+        for item in user.target_items:
+            truth.add((int(user.source_user), int(item)))
+
+    def score(users, items):
+        return np.array([1.0 if (int(u), int(i)) in truth else 0.0
+                         for u, i in zip(users, items)])
+
+    return score
+
+
+class TestLeaveOneOutEvaluator:
+    def test_oracle_scorer_achieves_perfect_mrr(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(
+            _oracle_scorer(tiny_scenario, split.target), split.source, split.target
+        )
+        assert result.metrics.mrr == pytest.approx(1.0)
+        assert result.metrics.hit_rate[1] == pytest.approx(1.0)
+
+    def test_random_scorer_is_far_from_perfect(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(
+            random_scorer(seed=1), split.source, split.target
+        )
+        assert result.metrics.mrr < 0.6
+
+    def test_record_count_matches_split(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(
+            random_scorer(), split.source, split.target, split_name="test"
+        )
+        assert result.metrics.num_records == split.num_test_records
+
+    def test_validation_and_all_splits(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        validation = evaluator.evaluate_direction(
+            random_scorer(), split.source, split.target, split_name="validation"
+        )
+        everything = evaluator.evaluate_direction(
+            random_scorer(), split.source, split.target, split_name="all"
+        )
+        assert validation.metrics.num_records == split.num_validation_records
+        assert everything.metrics.num_records == (
+            split.num_validation_records + split.num_test_records
+        )
+
+    def test_unknown_split_raises(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        with pytest.raises(ValueError):
+            evaluator.evaluate_direction(random_scorer(), split.source, split.target,
+                                         split_name="bogus")
+
+    def test_max_users_cap(self, tiny_scenario):
+        capped = LeaveOneOutEvaluator(tiny_scenario, num_negatives=10, seed=0,
+                                      max_users_per_direction=1)
+        split = tiny_scenario.x_to_y
+        result = capped.evaluate_direction(random_scorer(), split.source, split.target)
+        assert len({r.user_key for r in result.records}) <= 1
+
+    def test_candidates_exclude_user_history(self, tiny_scenario, evaluator):
+        # The positive candidate is always at index 0 and negatives never
+        # include any of the user's full-item-set interactions; we verify
+        # through the ranks produced by an oracle that scores history items
+        # with 1: if negatives leaked history items the oracle rank could drop.
+        split = tiny_scenario.y_to_x
+        target_domain = tiny_scenario.domain(split.target)
+        history = evaluator._full_item_sets[split.target]
+
+        def history_scorer(users, items):
+            # Score every item in the user's history (incl. ground truth) as 1.
+            user_keys = {}
+            for user in split.validation + split.test:
+                user_keys[user.source_user] = user.user_key
+            return np.array([
+                1.0 if int(i) in history.get(user_keys.get(int(u)), set()) else 0.0
+                for u, i in zip(users, items)
+            ])
+
+        result = evaluator.evaluate_direction(history_scorer, split.source, split.target)
+        assert result.metrics.mrr == pytest.approx(1.0)
+
+    def test_evaluate_bidirectional(self, tiny_scenario, evaluator):
+        scorers = {
+            split.target: random_scorer(seed=3) for split in tiny_scenario.directions
+        }
+        results = evaluator.evaluate_bidirectional(scorers)
+        assert set(results) == {split.target for split in tiny_scenario.directions}
+
+    def test_deterministic_given_seed(self, tiny_scenario):
+        split = tiny_scenario.x_to_y
+        first = LeaveOneOutEvaluator(tiny_scenario, num_negatives=20, seed=7)
+        second = LeaveOneOutEvaluator(tiny_scenario, num_negatives=20, seed=7)
+        scorer = popularity_scorer(tiny_scenario.domain(split.target))
+        result_a = first.evaluate_direction(scorer, split.source, split.target)
+        result_b = second.evaluate_direction(scorer, split.source, split.target)
+        assert [r.rank for r in result_a.records] == [r.rank for r in result_b.records]
+
+
+class TestGrouping:
+    def test_groups_partition_records(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(random_scorer(), split.source, split.target)
+        groups = group_by_interaction_count(result)
+        assert [g.label for g in groups] == [f"{lo}-{hi}" for lo, hi in PAPER_INTERACTION_BUCKETS]
+        grouped_records = sum(g.metrics.num_records for g in groups)
+        in_range = sum(
+            1 for record in result.records
+            if any(lo <= record.source_degree <= hi for lo, hi in PAPER_INTERACTION_BUCKETS)
+        )
+        assert grouped_records == in_range
+
+    def test_custom_buckets(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(random_scorer(), split.source, split.target)
+        groups = group_by_interaction_count(result, buckets=((0, 1000),))
+        assert groups[0].metrics.num_records == len(result.records)
+
+
+class TestSignificance:
+    def test_oracle_significantly_better_than_random(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        oracle = evaluator.evaluate_direction(
+            _oracle_scorer(tiny_scenario, split.target), split.source, split.target
+        )
+        random_result = evaluator.evaluate_direction(
+            random_scorer(seed=5), split.source, split.target
+        )
+        outcome = paired_t_test(oracle, random_result)
+        assert outcome.better
+        assert outcome.significant
+
+    def test_identical_results_not_significant(self, tiny_scenario, evaluator):
+        split = tiny_scenario.x_to_y
+        result = evaluator.evaluate_direction(random_scorer(seed=9), split.source, split.target)
+        outcome = paired_t_test(result, result)
+        assert not outcome.significant
+        assert outcome.mean_difference == 0.0
+
+    def test_mismatched_record_sets_raise(self, tiny_scenario, evaluator):
+        split_a = tiny_scenario.x_to_y
+        split_b = tiny_scenario.y_to_x
+        result_a = evaluator.evaluate_direction(random_scorer(), split_a.source, split_a.target)
+        result_b = evaluator.evaluate_direction(random_scorer(), split_b.source, split_b.target)
+        if len(result_a.records) == len(result_b.records):
+            pytest.skip("record counts coincide for this seed")
+        with pytest.raises(ValueError):
+            paired_t_test(result_a, result_b)

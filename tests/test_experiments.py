@@ -1,0 +1,112 @@
+"""Tests for experiment profiles and the table/figure runners (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PROFILES,
+    build_paper_scenario,
+    format_rows,
+    get_profile,
+    run_ablation,
+    run_beta_sweep,
+    run_dataset_statistics,
+    run_interaction_groups,
+    run_layer_sweep,
+    run_main_comparison,
+    run_overlap_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return get_profile("smoke")
+
+
+class TestProfiles:
+    def test_registered_profiles(self):
+        assert set(PROFILES) == {"smoke", "fast", "full"}
+
+    def test_profiles_are_ordered_by_budget(self):
+        smoke, fast, full = get_profile("smoke"), get_profile("fast"), get_profile("full")
+        assert smoke.scenario_scale < fast.scenario_scale <= full.scenario_scale
+        assert smoke.cdrib.epochs < fast.cdrib.epochs <= full.cdrib.epochs
+
+    def test_env_variable_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("gigantic")
+
+
+class TestScenarioBuilder:
+    def test_build_paper_scenario(self, smoke):
+        scenario = build_paper_scenario("game_video", smoke)
+        assert {scenario.domain_x.name, scenario.domain_y.name} == {"game", "video"}
+        assert scenario.num_overlap_train > 0
+        for split in scenario.directions:
+            assert split.num_cold_start_users > 0
+
+    def test_unknown_scenario(self, smoke):
+        with pytest.raises(KeyError):
+            build_paper_scenario("books_music", smoke)
+
+
+class TestRunners:
+    def test_dataset_statistics_rows(self, smoke):
+        rows = run_dataset_statistics(["game_video"], profile=smoke)
+        assert len(rows) == 2
+        assert {"|U|", "|V|", "Training", "#Overlap", "Density"} <= set(rows[0])
+
+    def test_main_comparison_row_schema(self, smoke):
+        rows = run_main_comparison("game_video", baselines=["BPRMF"], profile=smoke)
+        methods = {row["method"] for row in rows}
+        assert methods == {"BPRMF", "CDRIB"}
+        for row in rows:
+            assert {"MRR", "NDCG@5", "NDCG@10", "HR@1", "HR@5", "HR@10"} <= set(row)
+            assert 0 <= row["MRR"] <= 100
+
+    def test_main_comparison_without_cdrib(self, smoke):
+        rows = run_main_comparison("game_video", baselines=["CML"], profile=smoke,
+                                   include_cdrib=False)
+        assert {row["method"] for row in rows} == {"CML"}
+
+    def test_ablation_rows(self, smoke):
+        rows = run_ablation("game_video", variants=("wo_con", "full"), profile=smoke)
+        assert {row["method"] for row in rows} == {"w/o Con", "CDRIB"}
+        assert all("variant" in row for row in rows)
+
+    def test_overlap_ratio_rows(self, smoke):
+        rows = run_overlap_ratio("game_video", ratios=(0.5, 1.0), profile=smoke,
+                                 compare_savae=False)
+        ratios = {row["overlap_ratio"] for row in rows}
+        assert ratios == {0.5, 1.0}
+        assert {row["method"] for row in rows} == {"CDRIB"}
+
+    def test_interaction_group_rows(self, smoke):
+        rows = run_interaction_groups("game_video", profile=smoke, compare_savae=False)
+        assert all(row["method"] == "CDRIB" for row in rows)
+        assert {"interactions", "MRR", "records"} <= set(rows[0])
+
+    def test_beta_sweep_rows(self, smoke):
+        rows = run_beta_sweep("game_video", betas=(0.5, 1.0), profile=smoke)
+        assert {row["beta"] for row in rows} == {0.5, 1.0}
+
+    def test_layer_sweep_rows(self, smoke):
+        rows = run_layer_sweep("game_video", layer_counts=(1, 2), profile=smoke)
+        assert {row["num_layers"] for row in rows} == {1, 2}
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        rows = [{"method": "CDRIB", "MRR": 12.3456}, {"method": "BPR", "MRR": 4.2}]
+        text = format_rows(rows)
+        assert "CDRIB" in text and "12.35" in text
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_rows_column_subset(self):
+        rows = [{"a": 1, "b": 2.0}]
+        text = format_rows(rows, columns=["a"])
+        assert "b" not in text.splitlines()[0]

@@ -1,0 +1,115 @@
+"""Tests for result persistence (CSV / JSON) and the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    load_rows_csv,
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+    summarize_by,
+)
+from repro.experiments.cli import EXPERIMENTS, build_parser, run_experiment, save_rows
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"method": "CDRIB", "direction": "x->y", "MRR": 12.5, "records": 20},
+        {"method": "CDRIB", "direction": "y->x", "MRR": 10.5, "records": 18},
+        {"method": "BPRMF", "direction": "x->y", "MRR": 6.0, "records": 20},
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_save_and_load(self, rows, tmp_path):
+        path = save_rows_json(rows, str(tmp_path / "out.json"))
+        loaded = load_rows_json(path)
+        assert len(loaded) == 3
+        assert loaded[0]["method"] == "CDRIB"
+        assert loaded[0]["MRR"] == pytest.approx(12.5)
+
+    def test_json_is_pretty_printed(self, rows, tmp_path):
+        path = save_rows_json(rows, str(tmp_path / "out.json"))
+        text = open(path).read()
+        assert text.endswith("\n")
+        json.loads(text)  # valid JSON
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a": 1}')
+        with pytest.raises(ValueError):
+            load_rows_json(str(path))
+
+    def test_creates_parent_directories(self, rows, tmp_path):
+        path = save_rows_json(rows, str(tmp_path / "nested" / "dir" / "out.json"))
+        assert load_rows_json(path)
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load_restores_numbers(self, rows, tmp_path):
+        path = save_rows_csv(rows, str(tmp_path / "out.csv"))
+        loaded = load_rows_csv(path)
+        assert loaded[0]["MRR"] == pytest.approx(12.5)
+        assert loaded[0]["records"] == 20
+        assert loaded[0]["method"] == "CDRIB"
+
+    def test_column_subset(self, rows, tmp_path):
+        path = save_rows_csv(rows, str(tmp_path / "out.csv"), columns=["method", "MRR"])
+        loaded = load_rows_csv(path)
+        assert set(loaded[0]) == {"method", "MRR"}
+
+    def test_union_of_columns(self, tmp_path):
+        uneven = [{"a": 1}, {"a": 2, "b": 3}]
+        path = save_rows_csv(uneven, str(tmp_path / "out.csv"))
+        loaded = load_rows_csv(path)
+        assert "b" in loaded[1]
+
+
+class TestSummarize:
+    def test_summarize_by_method(self, rows):
+        summary = summarize_by(rows, "method", "MRR")
+        assert summary["CDRIB"] == pytest.approx(11.5)
+        assert summary["BPRMF"] == pytest.approx(6.0)
+
+    def test_summarize_skips_missing_keys(self):
+        summary = summarize_by([{"method": "A"}, {"method": "A", "MRR": 4.0}], "method")
+        assert summary == {"A": pytest.approx(4.0)}
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table42"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.scenario == "game_video"
+        assert args.profile is None
+        assert args.output is None
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiment("table42", "game_video", "smoke")
+
+    def test_run_experiment_table2_smoke(self):
+        rows = run_experiment("table2", "game_video", "smoke")
+        assert len(rows) == 8  # two domains per paper scenario
+        assert {"|U|", "Training"} <= set(rows[0])
+
+    def test_save_rows_dispatches_on_extension(self, rows, tmp_path):
+        json_path = save_rows(rows, str(tmp_path / "a.json"))
+        csv_path = save_rows(rows, str(tmp_path / "a.csv"))
+        assert load_rows_json(json_path)
+        assert load_rows_csv(csv_path)
+        with pytest.raises(ValueError):
+            save_rows(rows, str(tmp_path / "a.txt"))

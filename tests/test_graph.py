@@ -1,0 +1,106 @@
+"""Tests for the bipartite interaction graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def small_graph():
+    edges = np.array([[0, 0], [0, 1], [1, 1], [2, 2], [2, 0]])
+    return BipartiteGraph(num_users=3, num_items=3, edges=edges)
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_graph):
+        assert small_graph.num_users == 3
+        assert small_graph.num_items == 3
+        assert small_graph.num_edges == 5
+        assert small_graph.density == pytest.approx(5 / 9)
+
+    def test_duplicate_edges_collapsed(self):
+        edges = np.array([[0, 0], [0, 0], [1, 1]])
+        graph = BipartiteGraph(2, 2, edges)
+        assert graph.num_edges == 2
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph(3, 4, np.empty((0, 2), dtype=np.int64))
+        assert graph.num_edges == 0
+        assert graph.density == 0.0
+        assert graph.adjacency().shape == (3, 4)
+
+    def test_invalid_edge_shape(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, np.array([[0, 1, 2]]))
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, np.array([[5, 0]]))
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, np.array([[0, 5]]))
+
+    def test_repr(self, small_graph):
+        assert "users=3" in repr(small_graph)
+
+
+class TestAdjacency:
+    def test_adjacency_entries(self, small_graph):
+        adjacency = small_graph.adjacency().toarray()
+        expected = np.array([[1, 1, 0], [0, 1, 0], [1, 0, 1]], dtype=float)
+        np.testing.assert_allclose(adjacency, expected)
+
+    def test_adjacency_transpose(self, small_graph):
+        np.testing.assert_allclose(
+            small_graph.adjacency_t().toarray(), small_graph.adjacency().toarray().T
+        )
+
+    def test_degrees(self, small_graph):
+        np.testing.assert_array_equal(small_graph.user_degrees(), [2, 1, 2])
+        np.testing.assert_array_equal(small_graph.item_degrees(), [2, 2, 1])
+
+    def test_items_of_user(self, small_graph):
+        np.testing.assert_array_equal(sorted(small_graph.items_of_user(0)), [0, 1])
+        np.testing.assert_array_equal(sorted(small_graph.items_of_user(2)), [0, 2])
+
+    def test_user_item_set(self, small_graph):
+        mapping = small_graph.user_item_set()
+        assert mapping[0] == {0, 1}
+        assert mapping[1] == {1}
+
+    def test_normalized_matrices_rows_sum_to_one(self, small_graph):
+        rows = np.asarray(small_graph.norm_item_to_user().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, np.ones(3))
+        rows_t = np.asarray(small_graph.norm_user_to_item().sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows_t, np.ones(3))
+
+    def test_joint_adjacency_shape_and_symmetry(self, small_graph):
+        joint = small_graph.joint_normalized_adjacency().toarray()
+        assert joint.shape == (6, 6)
+        np.testing.assert_allclose(joint, joint.T, atol=1e-12)
+
+    def test_joint_adjacency_without_self_loops(self, small_graph):
+        joint = small_graph.joint_normalized_adjacency(add_self_loops=False).toarray()
+        assert np.all(np.diag(joint) == 0)
+
+    def test_caches_are_reused(self, small_graph):
+        assert small_graph.norm_item_to_user() is small_graph.norm_item_to_user()
+
+
+class TestSubgraph:
+    def test_subgraph_without_users_removes_their_edges(self, small_graph):
+        subgraph = small_graph.subgraph_without_users([0])
+        assert subgraph.num_edges == 3
+        assert 0 not in set(subgraph.edges[:, 0])
+        # Index space is preserved.
+        assert subgraph.num_users == 3
+        assert subgraph.num_items == 3
+
+    def test_subgraph_with_empty_user_list_is_copy(self, small_graph):
+        subgraph = small_graph.subgraph_without_users([])
+        assert subgraph.num_edges == small_graph.num_edges
+        assert subgraph is not small_graph
+
+    def test_subgraph_original_untouched(self, small_graph):
+        small_graph.subgraph_without_users([0, 1, 2])
+        assert small_graph.num_edges == 5

@@ -1,0 +1,201 @@
+"""Tests for Module/Parameter bookkeeping and the neural-network layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.nn import MLP, Activation, Dropout, Embedding, Linear, Module, Parameter, Sequential, init
+
+
+class TestModuleBookkeeping:
+    def test_parameters_discovered_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer1 = Linear(4, 3)
+                self.layer2 = Linear(3, 2)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "layer1.weight" in names
+        assert "layer2.bias" in names
+        assert len(list(net.parameters())) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = ops.sum(layer(Tensor(np.ones((1, 3)))))
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+        assert layer.bias.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = MLP([3, 4, 2], rng=np.random.default_rng(0))
+        b = MLP([3, 4, 2], rng=np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(2).standard_normal((5, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"][0, 0] = 123.0
+        assert layer.weight.data[0, 0] != 123.0
+
+    def test_load_state_dict_strict_mismatch(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"bogus": np.zeros(2)})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_register_module_explicit(self):
+        container = Module()
+        container.register_module("inner", Linear(2, 2))
+        assert "inner.weight" in dict(container.named_parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestLinear:
+    def test_output_shape_and_affine_value(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 3))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 2)
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = ops.sum(layer(Tensor(np.ones((4, 3)))))
+        out.backward()
+        assert layer.weight.grad.shape == (3, 2)
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self):
+        table = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = table(np.array([1, 3, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_gradient_scatter_adds(self):
+        table = Embedding(5, 2, rng=np.random.default_rng(0))
+        out = ops.sum(table(np.array([0, 0, 1])))
+        out.backward()
+        np.testing.assert_allclose(table.weight.grad[0], [2.0, 2.0])
+        np.testing.assert_allclose(table.weight.grad[1], [1.0, 1.0])
+        np.testing.assert_allclose(table.weight.grad[2], [0.0, 0.0])
+
+    def test_all_returns_full_table(self):
+        table = Embedding(6, 3)
+        assert table.all().shape == (6, 3)
+
+
+class TestDropoutActivationSequentialMLP:
+    def test_dropout_identity_in_eval(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activation_by_name(self):
+        x = Tensor([-1.0, 1.0])
+        np.testing.assert_allclose(Activation("relu")(x).data, [0.0, 1.0])
+        np.testing.assert_allclose(
+            Activation("leaky_relu", negative_slope=0.1)(x).data, [-0.1, 1.0]
+        )
+
+    def test_activation_unknown_name(self):
+        with pytest.raises(ValueError):
+            Activation("swishy")
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), Activation("relu"))
+        out = model(Tensor(np.ones((1, 2))))
+        assert np.all(out.data >= 0)
+        assert len(model) == 2
+
+    def test_mlp_architecture(self):
+        mlp = MLP([4, 8, 2], activation="tanh", rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_mlp_final_activation(self):
+        mlp = MLP([4, 4, 1], final_activation="sigmoid", rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(1).standard_normal((6, 4))))
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_trains_on_regression(self):
+        rng = np.random.default_rng(0)
+        from repro.optim import Adam
+
+        x = rng.standard_normal((64, 3))
+        target = x @ np.array([[1.0], [-2.0], [0.5]])
+        mlp = MLP([3, 16, 1], rng=rng)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(120):
+            optimizer.zero_grad()
+            loss = ops.mse_loss(mlp(Tensor(x)), target)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.1
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        weights = init.xavier_uniform((100, 50), rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_xavier_normal_std(self):
+        weights = init.xavier_normal((2000, 100), rng=np.random.default_rng(0))
+        expected = np.sqrt(2.0 / 2100)
+        assert weights.std() == pytest.approx(expected, rel=0.1)
+
+    def test_normal_std(self):
+        weights = init.normal((5000,), std=0.02, rng=np.random.default_rng(0))
+        assert weights.std() == pytest.approx(0.02, rel=0.1)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+
+    def test_fans_of_scalar_raise(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())

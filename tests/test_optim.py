@@ -1,0 +1,136 @@
+"""Tests for optimizers, gradient clipping and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.nn import Parameter
+from repro.optim import Adam, ExponentialLR, SGD, StepLR, clip_grad_norm
+
+
+def _quadratic_step(optimizer, parameter, target):
+    optimizer.zero_grad()
+    diff = ops.sub(parameter, target)
+    loss = ops.sum(ops.mul(diff, diff))
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(optimizer, parameter, target)
+        np.testing.assert_allclose(parameter.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            parameter = Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = _quadratic_step(optimizer, parameter, np.array([0.0]))
+            return loss
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert abs(parameter.data[0]) < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient yet: must not raise nor change values
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0, 2.0]))
+        target = np.array([1.0, 2.0, -1.0])
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            _quadratic_step(optimizer, parameter, target)
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_faster_than_sgd_on_badly_scaled_problem(self):
+        scales = np.array([100.0, 1.0])
+
+        def run(optimizer_class, lr):
+            parameter = Parameter(np.array([1.0, 1.0]))
+            optimizer = optimizer_class([parameter], lr=lr)
+            for _ in range(100):
+                optimizer.zero_grad()
+                loss = ops.sum(ops.mul(ops.mul(parameter, parameter), scales))
+                loss.backward()
+                optimizer.step()
+            return loss.item()
+
+        assert run(Adam, 0.05) < run(SGD, 0.0005)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_step_counter_bias_correction(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        # After one step with grad 1, Adam moves by approximately lr.
+        assert parameter.data[0] == pytest.approx(0.9, abs=1e-6)
+
+
+class TestClipAndSchedules:
+    def test_clip_grad_norm_rescales(self):
+        a = Parameter(np.zeros(3))
+        a.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(a.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_noop_when_small(self):
+        a = Parameter(np.zeros(2))
+        a.grad = np.array([0.1, 0.1])
+        clip_grad_norm([a], max_norm=10.0)
+        np.testing.assert_allclose(a.grad, [0.1, 0.1])
+
+    def test_clip_grad_norm_empty(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0
+
+    def test_step_lr(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.5)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_exponential_lr(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = ExponentialLR(optimizer, gamma=0.9)
+        schedule.step()
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.81)
+
+    def test_schedule_validation(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(optimizer, gamma=0.0)
