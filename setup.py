@@ -1,5 +1,43 @@
-"""Setuptools shim so `python setup.py develop` works in offline environments
-where the `wheel` package (needed for PEP 517 editable installs) is missing."""
-from setuptools import setup
+"""Packaging for the CDRIB reproduction (``repro``).
 
-setup()
+A plain ``setup.py`` (no pyproject / setup.cfg) so that both
+``pip install -e .`` and the legacy ``python setup.py develop`` work in
+offline environments where the ``wheel`` package needed for PEP 517
+editable installs may be missing.
+"""
+
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-cdrib",
+    version="1.1.0",
+    description=(
+        "Reproduction of CDRIB (Cao et al., ICDE 2022): cross-domain "
+        "recommendation to cold-start users via variational information "
+        "bottleneck, on a numpy autograd substrate, with a batched "
+        "cold-start serving subsystem"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

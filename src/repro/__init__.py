@@ -10,11 +10,13 @@ Public entry points:
 * :mod:`repro.data` — synthetic cross-domain data, preprocessing, splits.
 * :mod:`repro.eval` — leave-one-out protocol, MRR/NDCG/HR, significance.
 * :mod:`repro.experiments` — one runner per paper table / figure.
+* :mod:`repro.serve` — batched cold-start serving (item index, LRU cache,
+  request batching).
 """
 
-from . import autograd, baselines, core, data, eval, experiments, graph, nn, optim
+from . import autograd, baselines, core, data, eval, experiments, graph, nn, optim, serve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autograd",
@@ -26,5 +28,6 @@ __all__ = [
     "baselines",
     "eval",
     "experiments",
+    "serve",
     "__version__",
 ]

@@ -2,7 +2,7 @@
 
 from . import ops
 from .gradcheck import check_gradients, numerical_gradient
-from .sparse import row_normalize, sparse_matmul, symmetric_normalize
+from .sparse import row_normalize, sparse_matmul, sparse_propagate, symmetric_normalize
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "randn",
     "ops",
     "sparse_matmul",
+    "sparse_propagate",
     "row_normalize",
     "symmetric_normalize",
     "check_gradients",

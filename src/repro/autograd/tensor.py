@@ -30,12 +30,23 @@ _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager that disables gradient tracking.
+    """Context manager *and* decorator that disables gradient tracking.
 
     Mirrors ``torch.no_grad``: any tensor created inside the block does not
     record parents, so evaluation code cannot accidentally keep the whole
-    training graph alive.
+    training graph alive.  Applied to a function (``@no_grad()``), the whole
+    call runs with gradients disabled — used by the serving fast paths.
     """
+
+    def __call__(self, fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
     def __enter__(self):
         global _GRAD_ENABLED

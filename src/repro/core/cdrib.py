@@ -232,6 +232,43 @@ class CDRIB(Module):
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
+    def _domain_parts(self, domain: str):
+        """Return (vbge, user_embedding, item_embedding, graph) for a domain."""
+        if domain == self.scenario.domain_x.name:
+            return (self.vbge_x, self.user_embedding_x, self.item_embedding_x,
+                    self.scenario.domain_x.graph)
+        if domain == self.scenario.domain_y.name:
+            return (self.vbge_y, self.user_embedding_y, self.item_embedding_y,
+                    self.scenario.domain_y.graph)
+        raise KeyError(f"unknown domain {domain!r}")
+
+    @no_grad()
+    def encode_users_batch(self, domain: str,
+                           user_indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Posterior-mean latents for a batch of users of one domain.
+
+        This is the serving entry point: one vectorized no-grad VBGE pass per
+        call, independent of the training state (dropout and sampling are
+        bypassed exactly as in eval mode).  The computation runs on raw numpy
+        arrays; the ``no_grad`` guard additionally ensures nothing under this
+        call can record an autograd graph.  Returns an array of shape
+        (batch, dim) aligned with ``user_indices`` (or all users when None).
+        """
+        vbge, user_emb, _, graph = self._domain_parts(domain)
+        mu, _ = vbge.encode_users_batch(user_emb.weight.data, graph, user_indices)
+        return mu
+
+    @no_grad()
+    def encode_items(self, domain: str) -> np.ndarray:
+        """Posterior-mean latents of every item of one domain.
+
+        Computed once per checkpoint by the serving :class:`~repro.serve.ItemIndex`;
+        shape (num_items, dim).
+        """
+        vbge, _, item_emb, graph = self._domain_parts(domain)
+        mu, _ = vbge.encode_items(item_emb.weight.data, graph)
+        return mu
+
     def refresh_eval_cache(self) -> None:
         """Recompute the deterministic latent variables used for scoring."""
         was_training = self.training

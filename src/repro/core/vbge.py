@@ -25,9 +25,16 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, ops, sparse_matmul
+from ..autograd import Tensor, ops, sparse_matmul, sparse_propagate
 from ..graph import BipartiteGraph
 from ..nn import Dropout, Linear, Module
+
+
+def _as_ndarray(features) -> np.ndarray:
+    """Accept either a Tensor or an ndarray and return the raw array."""
+    if isinstance(features, Tensor):
+        return features.data
+    return np.asarray(features, dtype=np.float64)
 
 
 @dataclass
@@ -67,6 +74,20 @@ class PropagationBlock(Module):
         )
         return returned
 
+    def infer(self, features: np.ndarray, push, pull,
+              pull_rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """No-grad propagation on raw numpy arrays (serving fast path).
+
+        Performs the same operations as :meth:`forward` in the same order;
+        ``pull_rows`` optionally restricts the pull step to a batch of nodes
+        (exact up to BLAS kernel selection for the smaller products).
+        """
+        return sparse_propagate(
+            push, pull, features,
+            self.to_neighbor.weight.data, self.from_neighbor.weight.data,
+            self.negative_slope, pull_rows=pull_rows,
+        )
+
 
 class GaussianHead(Module):
     """Project concatenated propagation outputs + base embedding to (mu, sigma).
@@ -93,6 +114,15 @@ class GaussianHead(Module):
         # Clamp the standard deviation away from zero for numerical stability
         # of the KL term; the offset is tiny and does not bias training.
         sigma = ops.add(sigma, 1e-4)
+        return mu, sigma
+
+    def infer(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """No-grad (mu, sigma) on raw numpy arrays, matching :meth:`forward`."""
+        pre_mu = features @ self.mu_layer.weight.data + self.mu_layer.bias.data
+        mu = pre_mu * np.where(pre_mu > 0, 1.0, self.negative_slope)
+        pre_sigma = (features @ self.sigma_layer.weight.data
+                     + self.sigma_layer.bias.data + self.sigma_bias)
+        sigma = np.logaddexp(0.0, pre_sigma) + 1e-4
         return mu, sigma
 
 
@@ -175,6 +205,77 @@ class VBGE(Module):
         user_latent = self._sample(user_mu, user_sigma)
         item_latent = self._sample(item_mu, item_sigma)
         return user_latent, item_latent
+
+    # ------------------------------------------------------------------ #
+    # Inference fast paths (serving)
+    # ------------------------------------------------------------------ #
+    def encode_users_batch(self, user_embeddings, graph: BipartiteGraph,
+                           user_indices: Optional[np.ndarray] = None
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode a batch of users in one vectorized no-grad pass.
+
+        Unlike :meth:`encode` this skips dropout, sampling, the item-side
+        Gaussian head and all autograd bookkeeping, and it restricts the final
+        pull step plus the user head to ``user_indices`` — the interim
+        propagation still covers the full graph, which is required for
+        exactness.  The result equals the eval-mode ``encode`` output on the
+        selected rows (to float precision: restricting the batch shrinks the
+        GEMM shapes, where BLAS kernel selection may differ in the last ulp).
+        (The two-step even-hop propagation means user latents
+        depend only on the user embedding table, so no item table is needed.)
+
+        Parameters
+        ----------
+        user_embeddings:
+            Full user embedding table (Tensor or ndarray).
+        graph:
+            The domain's training interaction graph.
+        user_indices:
+            Users to encode; ``None`` encodes every user.
+
+        Returns
+        -------
+        ``(mu, sigma)`` arrays of shape (batch, dim) — the posterior means are
+        the representations to score with at inference time.
+        """
+        users = _as_ndarray(user_embeddings)
+        norm_i2u = graph.norm_item_to_user()
+        norm_u2i = graph.norm_user_to_item()
+        index = (None if user_indices is None
+                 else np.asarray(user_indices, dtype=np.int64))
+
+        outputs = [users if index is None else users[index]]
+        hidden = users
+        for layer, block in enumerate(self.user_blocks):
+            is_last = layer == len(self.user_blocks) - 1
+            if is_last and index is not None:
+                # Only the batch rows of the final layer are ever consumed, so
+                # the last pull can run on the restricted adjacency.
+                outputs.append(block.infer(hidden, push=norm_u2i, pull=norm_i2u,
+                                           pull_rows=index))
+            else:
+                hidden = block.infer(hidden, push=norm_u2i, pull=norm_i2u)
+                outputs.append(hidden if index is None else hidden[index])
+        return self.user_head.infer(np.concatenate(outputs, axis=-1))
+
+    def encode_items(self, item_embeddings,
+                     graph: BipartiteGraph) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode every item of the domain in one no-grad pass.
+
+        The mirrored computation of :meth:`encode_users_batch`, used to build
+        the serving :class:`~repro.serve.ItemIndex` once per checkpoint.
+        Returns ``(mu, sigma)`` arrays of shape (num_items, dim).
+        """
+        items = _as_ndarray(item_embeddings)
+        norm_i2u = graph.norm_item_to_user()
+        norm_u2i = graph.norm_user_to_item()
+
+        outputs = [items]
+        hidden = items
+        for block in self.item_blocks:
+            hidden = block.infer(hidden, push=norm_i2u, pull=norm_u2i)
+            outputs.append(hidden)
+        return self.item_head.infer(np.concatenate(outputs, axis=-1))
 
     def _sample(self, mu: Tensor, sigma: Tensor) -> GaussianLatent:
         if self.deterministic or not self.training:

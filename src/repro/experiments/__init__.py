@@ -19,6 +19,7 @@ from .runners import (
     run_layer_sweep,
     run_main_comparison,
     run_overlap_ratio,
+    run_serving_benchmark,
     train_cdrib,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "run_interaction_groups",
     "run_beta_sweep",
     "run_layer_sweep",
+    "run_serving_benchmark",
     "format_rows",
     "save_rows_json",
     "save_rows_csv",

@@ -6,8 +6,10 @@ Usage (after installation)::
     python -m repro.experiments.cli table3 --scenario music_movie --profile fast
     python -m repro.experiments.cli table7 --scenario phone_elec --output results/ablation.csv
     python -m repro.experiments.cli figure5 --scenario game_video --profile smoke
+    python -m repro.experiments.cli serve --profile smoke --batch-sizes 1,64
 
-Each sub-command maps to one paper artefact, runs the corresponding
+Each sub-command maps to one paper artefact (plus the ``serve`` throughput
+demo for the :mod:`repro.serve` subsystem), runs the corresponding
 experiment runner, prints the resulting table and optionally writes it to
 CSV or JSON (decided by the ``--output`` extension).
 """
@@ -30,6 +32,7 @@ EXPERIMENTS: Dict[str, str] = {
     "table9": "Table IX — cold-start interaction-count groups",
     "figure5": "Figure 5 — Lagrangian multiplier sweep",
     "figure6": "Figure 6 — VBGE layer-count sweep",
+    "serve": "Serving demo — batched cold-start throughput (repro.serve)",
 }
 
 
@@ -49,13 +52,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="optional path to write the rows to (.csv or .json)")
     parser.add_argument("--no-savae", action="store_true",
                         help="skip the SA-VAE comparison in table8/table9 (faster)")
+    parser.add_argument("--batch-sizes", default="1,32,256",
+                        help="comma-separated request batch sizes (serve only)")
+    parser.add_argument("--top-k", type=int, default=10,
+                        help="recommendation list length (serve only)")
     return parser
 
 
 def run_experiment(name: str, scenario: str, profile_name: Optional[str],
-                   include_savae: bool = True) -> List[dict]:
+                   include_savae: bool = True,
+                   batch_sizes: Optional[List[int]] = None,
+                   top_k: int = 10) -> List[dict]:
     """Dispatch one experiment by CLI name and return its result rows."""
     profile = get_profile(profile_name)
+    if name == "serve":
+        return runners.run_serving_benchmark(
+            scenario, batch_sizes=tuple(batch_sizes or (1, 32, 256)),
+            top_k=top_k, profile=profile,
+        )
     if name == "table2":
         return runners.run_dataset_statistics(profile=profile)
     if name == "table3":
@@ -88,8 +102,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        batch_sizes = [int(piece) for piece in args.batch_sizes.split(",")
+                       if piece.strip()]
+    except ValueError:
+        parser.error(f"--batch-sizes must be comma-separated integers, "
+                     f"got {args.batch_sizes!r}")
+    if not batch_sizes or any(size < 1 for size in batch_sizes):
+        parser.error(f"--batch-sizes must all be >= 1, got {args.batch_sizes!r}")
+    if args.top_k < 1:
+        parser.error(f"--top-k must be >= 1, got {args.top_k}")
     rows = run_experiment(args.experiment, args.scenario, args.profile,
-                          include_savae=not args.no_savae)
+                          include_savae=not args.no_savae,
+                          batch_sizes=batch_sizes, top_k=args.top_k)
     print(runners.format_rows(rows))
     if args.output:
         written = save_rows(rows, args.output)

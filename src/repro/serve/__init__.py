@@ -1,0 +1,32 @@
+"""High-throughput cold-start serving for CDRIB (``repro.serve``).
+
+This package turns the reproduction's inference scheme — encode a cold-start
+user with the source-domain VBGE, score against target-domain item latents —
+into a batched serving subsystem:
+
+* :class:`ItemIndex` — target-domain item latents, precomputed once per
+  checkpoint, with exact-tie top-K retrieval via partial sort.
+* :class:`ColdStartServer` — batched user encoding (one no-grad VBGE pass per
+  request batch) with an LRU user-latent cache.
+* :class:`RequestBatcher` — micro-batching queue for streaming workloads.
+* :class:`LRUCache` — the bounded cache primitive.
+
+Served top-K lists are identical to a brute-force stable full ranking of the
+catalogue, including score ties; see ``tests/test_serve.py``.
+"""
+
+from .batching import PendingRequest, RequestBatcher
+from .cache import LRUCache
+from .item_index import ItemIndex, brute_force_ranking
+from .server import ColdStartServer, Recommendation, ServerStats
+
+__all__ = [
+    "ItemIndex",
+    "brute_force_ranking",
+    "LRUCache",
+    "ColdStartServer",
+    "Recommendation",
+    "ServerStats",
+    "RequestBatcher",
+    "PendingRequest",
+]

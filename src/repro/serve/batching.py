@@ -1,0 +1,99 @@
+"""Micro-batching queue for streaming recommendation requests.
+
+Single-user requests are cheap to *answer* but expensive to *encode*: every
+VBGE pass pays the full sparse-propagation cost regardless of how many users
+ride along.  The :class:`RequestBatcher` therefore accumulates incoming
+requests and serves them in one vectorized batch, either when the queue
+reaches ``max_batch_size`` or when the caller flushes explicitly.
+
+The design is deliberately synchronous and thread-free: callers get a
+:class:`PendingRequest` ticket back, and every ticket of a batch is fulfilled
+during the same ``flush()``.  This keeps serving fully deterministic, which
+the correctness tests (serve vs. brute force) rely on; an async front-end can
+wrap ``submit``/``flush`` without changing the core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .server import ColdStartServer, Recommendation
+
+
+class PendingRequest:
+    """A future-like ticket for one enqueued recommendation request."""
+
+    def __init__(self, user: int, k: Optional[int]):
+        self.user = int(user)
+        self.k = k
+        self._result: Optional[Recommendation] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the batch containing this request has been flushed."""
+        return self._result is not None
+
+    def result(self) -> Recommendation:
+        """Return the recommendation; raises if the batch was not flushed yet."""
+        if self._result is None:
+            raise RuntimeError(
+                f"request for user {self.user} is still queued; call flush() "
+                "on the batcher first"
+            )
+        return self._result
+
+    def _fulfill(self, recommendation: Recommendation) -> None:
+        self._result = recommendation
+
+
+class RequestBatcher:
+    """Accumulate requests and serve them in vectorized batches.
+
+    Parameters
+    ----------
+    server:
+        The :class:`ColdStartServer` used to fulfil batches.
+    max_batch_size:
+        Auto-flush threshold; queueing the ``max_batch_size``-th request
+        triggers an immediate flush.
+    """
+
+    def __init__(self, server: ColdStartServer, max_batch_size: int = 256):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.server = server
+        self.max_batch_size = int(max_batch_size)
+        self._queue: List[PendingRequest] = []
+        self.batches_flushed = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(self, user: int, k: Optional[int] = None) -> PendingRequest:
+        """Enqueue one request; auto-flushes when the batch is full."""
+        request = PendingRequest(user, k)
+        self._queue.append(request)
+        if len(self._queue) >= self.max_batch_size:
+            self.flush()
+        return request
+
+    def flush(self) -> List[Recommendation]:
+        """Serve every queued request in one batched call."""
+        if not self._queue:
+            return []
+        queue, self._queue = self._queue, []
+        # Requests with an explicit k are grouped per k so each group is still
+        # a single vectorized call; the common case (default k) is one batch.
+        by_k = {}
+        for position, request in enumerate(queue):
+            by_k.setdefault(request.k, []).append(position)
+        results: List[Optional[Recommendation]] = [None] * len(queue)
+        for k, positions in by_k.items():
+            recommendations = self.server.recommend(
+                [queue[p].user for p in positions], k=k
+            )
+            for position, recommendation in zip(positions, recommendations):
+                queue[position]._fulfill(recommendation)
+                results[position] = recommendation
+        self.batches_flushed += 1
+        return results

@@ -1,0 +1,73 @@
+"""LRU cache for user latent vectors.
+
+Encoding a cold-start user is a graph propagation pass; serving traffic is
+heavily skewed (a small set of active users generates most requests), so the
+:class:`ColdStartServer` keeps recently encoded user latents in a bounded
+least-recently-used cache.  The cache stores plain numpy vectors keyed by
+user index and is invalidated wholesale whenever the checkpoint changes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; 0 disables caching entirely (every lookup
+        misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return the cached value (marking it most-recently-used) or None."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        """Insert ``value``, evicting the least-recently-used entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (checkpoint rollover); counters are kept."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"LRUCache(size={len(self)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})")

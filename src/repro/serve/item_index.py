@@ -1,0 +1,144 @@
+"""Precomputed target-domain item index for cold-start serving.
+
+CDRIB scores a cold-start user by an inner product between the user's
+source-domain latent and every target-domain item latent (Section III of the
+paper).  The item side of that product is *static per checkpoint*: it only
+changes when the model parameters change.  :class:`ItemIndex` therefore
+encodes all target-domain items once (a single fused no-grad propagation
+pass) and answers top-K queries against the cached matrix with a partial
+sort (``np.argpartition``) instead of ranking the full catalogue.
+
+Tie handling is exact: results are ordered by descending score with ties
+broken by ascending item index, which is precisely the order produced by a
+brute-force stable full ranking.  The partial sort selects the boundary
+items explicitly, so a score tie that straddles the K-th position never
+depends on ``argpartition``'s arbitrary internal ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.cdrib import CDRIB
+
+
+class ItemIndex:
+    """Cached latent representations of one domain's item catalogue.
+
+    Parameters
+    ----------
+    item_latents:
+        Array of shape (num_items, dim) — posterior-mean item latents.
+    domain:
+        Name of the domain the items belong to (bookkeeping only).
+    """
+
+    def __init__(self, item_latents: np.ndarray, domain: str = ""):
+        latents = np.ascontiguousarray(np.asarray(item_latents, dtype=np.float64))
+        if latents.ndim != 2:
+            raise ValueError(f"item_latents must be 2-D, got shape {latents.shape}")
+        self.item_latents = latents
+        self.domain = domain
+
+    @classmethod
+    def build(cls, model: CDRIB, domain: str) -> "ItemIndex":
+        """Encode every item of ``domain`` with the model's fused no-grad pass."""
+        return cls(model.encode_items(domain), domain=domain)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items in the catalogue."""
+        return int(self.item_latents.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Latent dimensionality."""
+        return int(self.item_latents.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def scores(self, user_latents: np.ndarray) -> np.ndarray:
+        """Inner-product scores of shape (batch, num_items)."""
+        user_latents = np.atleast_2d(np.asarray(user_latents, dtype=np.float64))
+        return user_latents @ self.item_latents.T
+
+    def top_k(self, user_latents: np.ndarray, k: int,
+              exclude: Optional[list] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` items per user via partial sort.
+
+        Parameters
+        ----------
+        user_latents:
+            (batch, dim) user latents.
+        k:
+            Number of items to return per user (clamped to the catalogue size).
+        exclude:
+            Optional per-user sequences of item indices to remove from the
+            candidates (e.g. items the user already interacted with).
+
+        Returns
+        -------
+        ``(items, scores)`` arrays of shape (batch, k), each row ordered by
+        descending score, ties broken by ascending item index — identical to a
+        brute-force stable full ranking.  When ``exclude`` leaves a row with
+        fewer than ``k`` candidates, its trailing slots are padded with item
+        ``-1`` and score ``-inf``; excluded items are never returned.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        score_matrix = self.scores(user_latents)
+        batch = score_matrix.shape[0]
+        if exclude is not None and len(exclude) != batch:
+            raise ValueError("exclude must hold one sequence per user")
+        k = min(k, self.num_items)
+
+        items = np.empty((batch, k), dtype=np.int64)
+        scores = np.empty((batch, k), dtype=np.float64)
+        for row in range(batch):
+            row_scores = score_matrix[row]
+            banned = None
+            if exclude is not None and len(exclude[row]):
+                banned = np.asarray(list(exclude[row]), dtype=np.int64)
+                row_scores = row_scores.copy()
+                row_scores[banned] = -np.inf
+            top_items = _exact_top_k(row_scores, k)
+            top_scores = row_scores[top_items]
+            if banned is not None:
+                overflow = np.isin(top_items, banned)
+                top_items = np.where(overflow, -1, top_items)
+                top_scores = np.where(overflow, -np.inf, top_scores)
+            items[row] = top_items
+            scores[row] = top_scores
+        return items, scores
+
+
+def _exact_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best scores, ties broken by ascending index.
+
+    ``np.argpartition`` alone is not tie-stable at the K-th boundary, so the
+    boundary score is resolved explicitly: every item strictly above the
+    threshold is kept, and the remaining slots are filled with the
+    lowest-indexed items *at* the threshold (``np.where`` returns indices in
+    ascending order).  The selected set is then ordered by (-score, index).
+    """
+    n = scores.shape[0]
+    if k >= n:
+        selected = np.arange(n)
+    else:
+        partitioned = np.argpartition(scores, n - k)[n - k:]
+        threshold = scores[partitioned].min()
+        above = np.where(scores > threshold)[0]
+        at = np.where(scores == threshold)[0]
+        selected = np.concatenate([above, at[: k - above.shape[0]]])
+    order = np.lexsort((selected, -scores[selected]))
+    return selected[order]
+
+
+def brute_force_ranking(scores: np.ndarray) -> np.ndarray:
+    """Full stable ranking by (-score, index) — the reference for tests."""
+    indices = np.arange(scores.shape[0])
+    order = np.lexsort((indices, -np.asarray(scores, dtype=np.float64)))
+    return indices[order]

@@ -1,0 +1,50 @@
+"""The CI docs linter must keep ``repro.serve`` fully documented."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTER = REPO_ROOT / "tools" / "lint_docs.py"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location("lint_docs", LINTER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_serve_package_is_fully_documented():
+    lint_docs = _load_linter()
+    problems = []
+    for path in sorted((REPO_ROOT / "src" / "repro" / "serve").rglob("*.py")):
+        problems.extend(lint_docs.lint_file(path))
+    assert problems == []
+
+
+def test_linter_flags_missing_docstrings(tmp_path):
+    lint_docs = _load_linter()
+    bad = tmp_path / "bad.py"
+    bad.write_text("def public():\n    pass\n")
+    problems = lint_docs.lint_file(bad)
+    assert len(problems) == 2  # module docstring + function docstring
+    assert any("public" in p for p in problems)
+
+
+def test_linter_ignores_private_names(tmp_path):
+    lint_docs = _load_linter()
+    ok = tmp_path / "ok.py"
+    ok.write_text('"""Documented."""\n\ndef _internal():\n    pass\n')
+    assert lint_docs.lint_file(ok) == []
+
+
+def test_cli_exit_codes(tmp_path):
+    env_cmd = [sys.executable, str(LINTER)]
+    good = subprocess.run(env_cmd + ["src/repro/serve"], cwd=REPO_ROOT,
+                          capture_output=True, text=True)
+    assert good.returncode == 0, good.stdout + good.stderr
+    missing = subprocess.run(env_cmd + [str(tmp_path / "nonexistent")],
+                             cwd=REPO_ROOT, capture_output=True, text=True)
+    assert missing.returncode == 1

@@ -1,0 +1,50 @@
+"""Tests for the experiments CLI, including the ``serve`` subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, run_experiment
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_serve_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--batch-sizes", "1,8", "--top-k", "3"])
+        assert args.batch_sizes == "1,8"
+        assert args.top_k == 3
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table42"])
+
+
+class TestServeDispatch:
+    def test_serve_runs_and_reports_throughput(self):
+        rows = run_experiment("serve", "game_video", "smoke",
+                              batch_sizes=[1, 16], top_k=4)
+        batched = [r for r in rows if r["mode"] == "batched"]
+        assert [r["batch_size"] for r in batched] == [1, 16]
+        assert all(np.isfinite(r["users_per_sec"]) and r["users_per_sec"] > 0
+                   for r in rows)
+        assert any(r["mode"] == "lru_cached" for r in rows)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("tableX", "game_video", "smoke")
+
+    def test_nonpositive_batch_sizes_rejected(self, capsys):
+        from repro.experiments.cli import main
+        from repro.experiments.runners import run_serving_benchmark
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--profile", "smoke", "--batch-sizes", "0,32"])
+        assert "batch-sizes" in capsys.readouterr().err
+        with pytest.raises(ValueError):
+            run_serving_benchmark("game_video", batch_sizes=(-5, 256))

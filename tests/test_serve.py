@@ -1,0 +1,365 @@
+"""Tests for the batched cold-start serving subsystem (``repro.serve``)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CDRIB, CDRIBConfig
+from repro.serve import (
+    ColdStartServer,
+    ItemIndex,
+    LRUCache,
+    RequestBatcher,
+    brute_force_ranking,
+)
+
+
+def assert_rankings_equivalent(items_a, items_b, scores):
+    """Rankings must match exactly, or disagree only within float noise.
+
+    Cross-path comparisons (BLAS matmul vs. elementwise-sum scores) can land
+    near-tied scores on opposite sides of the last bit on some BLAS builds;
+    any positional disagreement must then be between float-noise-tied scores.
+    """
+    if np.array_equal(items_a, items_b):
+        return
+    np.testing.assert_allclose(scores[np.asarray(items_a)],
+                               scores[np.asarray(items_b)],
+                               rtol=1e-9, atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def trained_model(small_scenario):
+    """A briefly trained CDRIB model (weights only need to be non-degenerate)."""
+    from repro.core import CDRIBTrainer
+
+    model = CDRIB(small_scenario, CDRIBConfig(embedding_dim=16, num_layers=2,
+                                              epochs=2, batch_size=128,
+                                              num_negatives=2, seed=0))
+    CDRIBTrainer(model).fit()
+    return model
+
+
+@pytest.fixture(scope="module")
+def server(trained_model, small_scenario):
+    return ColdStartServer(
+        trained_model,
+        source=small_scenario.domain_x.name,
+        target=small_scenario.domain_y.name,
+        top_k=10,
+        cache_capacity=32,
+    )
+
+
+class TestEncodeBatchParity:
+    """The serving encoders must match the eval-cache Tensor path exactly."""
+
+    def test_users_full_and_batch(self, trained_model, small_scenario):
+        name = small_scenario.domain_x.name
+        trained_model.refresh_eval_cache()
+        reference = trained_model._eval_cache[name].users.deterministic().data
+
+        # Full-table encoding runs the same-shaped GEMMs as the reference,
+        # so equality is bitwise; the index-restricted path runs smaller
+        # GEMMs, where BLAS kernel selection may differ in the last ulp.
+        assert np.array_equal(trained_model.encode_users_batch(name), reference)
+        indices = np.array([5, 0, 11, 5, 3])
+        np.testing.assert_allclose(trained_model.encode_users_batch(name, indices),
+                                   reference[indices], rtol=1e-12, atol=1e-14)
+
+    def test_items(self, trained_model, small_scenario):
+        name = small_scenario.domain_y.name
+        trained_model.refresh_eval_cache()
+        reference = trained_model._eval_cache[name].items.deterministic().data
+        assert np.array_equal(trained_model.encode_items(name), reference)
+
+    def test_single_layer_model_batch_parity(self, small_scenario):
+        model = CDRIB(small_scenario, CDRIBConfig(embedding_dim=8, num_layers=1, seed=1))
+        name = small_scenario.domain_x.name
+        model.refresh_eval_cache()
+        reference = model._eval_cache[name].users.deterministic().data
+        indices = np.array([2, 7, 2])
+        np.testing.assert_allclose(model.encode_users_batch(name, indices),
+                                   reference[indices], rtol=1e-12, atol=1e-14)
+
+    def test_unknown_domain_raises(self, trained_model):
+        with pytest.raises(KeyError):
+            trained_model.encode_users_batch("nope")
+
+
+class TestItemIndex:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ItemIndex(np.zeros(4))
+        with pytest.raises(ValueError):
+            ItemIndex(np.zeros((3, 2))).top_k(np.zeros((1, 2)), k=0)
+
+    def test_top_k_matches_full_ranking(self, rng):
+        latents = rng.standard_normal((50, 8))
+        index = ItemIndex(latents)
+        users = rng.standard_normal((7, 8))
+        items, scores = index.top_k(users, k=10)
+        for row in range(7):
+            full = brute_force_ranking(index.scores(users[row])[0])
+            assert np.array_equal(items[row], full[:10])
+            assert np.all(np.diff(scores[row]) <= 0)
+
+    def test_tie_handling_matches_stable_ranking(self):
+        # Duplicate item latents force exact score ties, including across the
+        # top-K boundary; ties must resolve by ascending item index.
+        base = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        latents = np.concatenate([base, base, base, base])  # 12 items, 4-way ties
+        index = ItemIndex(latents)
+        user = np.array([[2.0, 1.0]])
+        for k in range(1, 13):
+            items, scores = index.top_k(user, k)
+            full = brute_force_ranking(index.scores(user)[0])
+            assert np.array_equal(items[0], full[:k]), f"tie mismatch at k={k}"
+            assert np.array_equal(scores[0], index.scores(user)[0][items[0]])
+
+    def test_all_equal_scores(self):
+        index = ItemIndex(np.ones((9, 3)))
+        items, _ = index.top_k(np.ones((1, 3)), k=4)
+        assert np.array_equal(items[0], np.arange(4))
+
+    def test_k_clamped_to_catalogue(self):
+        index = ItemIndex(np.eye(5))
+        items, _ = index.top_k(np.ones((1, 5)), k=50)
+        assert items.shape == (1, 5)
+
+    def test_exclude_removes_items(self, rng):
+        index = ItemIndex(rng.standard_normal((20, 4)))
+        user = rng.standard_normal((1, 4))
+        items, _ = index.top_k(user, k=20)
+        banned = items[0][:3].tolist()
+        remaining, _ = index.top_k(user, k=5, exclude=[banned])
+        assert not set(banned) & set(remaining[0].tolist())
+        assert np.array_equal(remaining[0], items[0][3:8])
+
+    def test_exclude_overflow_pads_instead_of_leaking(self, rng):
+        # k exceeds the remaining candidates: excluded items must never be
+        # returned; overflow slots carry the -1 / -inf padding sentinel.
+        index = ItemIndex(rng.standard_normal((4, 3)))
+        user = rng.standard_normal((1, 3))
+        items, scores = index.top_k(user, k=3, exclude=[[0, 1, 2]])
+        assert items[0][0] == 3
+        assert np.array_equal(items[0][1:], [-1, -1])
+        assert np.all(np.isneginf(scores[0][1:]))
+
+
+class TestColdStartServer:
+    def test_recommend_trims_exclusion_padding(self, small_scenario):
+        # In-domain serving with exclude_seen: a user whose history leaves
+        # fewer than k candidates gets a shorter list, never seen items.
+        name = small_scenario.domain_x.name
+        model = CDRIB(small_scenario, CDRIBConfig(embedding_dim=8, num_layers=1,
+                                                  seed=2))
+        server = ColdStartServer(model, source=name, target=name,
+                                 exclude_seen=True, cache_capacity=0)
+        graph = small_scenario.domain_x.graph
+        user = int(np.argmax(graph.user_degrees()))
+        seen = set(graph.items_of_user(user).tolist())
+        k = graph.num_items - len(seen) + 5  # forces overflow past candidates
+        rec = server.recommend_one(user, k=k)
+        assert len(rec) == graph.num_items - len(seen)
+        assert not seen & set(rec.items.tolist())
+        assert np.all(rec.items >= 0) and np.all(np.isfinite(rec.scores))
+
+    def test_topk_matches_brute_force_on_scenario(self, server, small_scenario):
+        """Acceptance: served lists == brute-force full ranking, seeded scenario."""
+        users = [u.source_user for split in [small_scenario.x_to_y]
+                 for u in split.test][:8]
+        recommendations = server.recommend(users, k=10)
+        for user, rec in zip(users, recommendations):
+            latent = server.user_latents([user])
+            full = brute_force_ranking(server.index.scores(latent)[0])
+            assert np.array_equal(rec.items, full[:10])
+
+    def test_scores_match_cold_start_scores(self, server, small_scenario, trained_model):
+        """Server scores equal the model's pairwise scorer (float tolerance)."""
+        name_x = small_scenario.domain_x.name
+        name_y = small_scenario.domain_y.name
+        rec = server.recommend_one(3, k=10)
+        reference = trained_model.cold_start_scores(
+            name_x, name_y, np.full(10, 3, dtype=np.int64), rec.items
+        )
+        np.testing.assert_allclose(rec.scores, reference, rtol=1e-12, atol=1e-12)
+
+    def test_ranking_agrees_with_pairwise_scorer(self, server, small_scenario,
+                                                 trained_model):
+        """Full ranking from the pairwise path equals the served ranking."""
+        name_x = small_scenario.domain_x.name
+        name_y = small_scenario.domain_y.name
+        num_items = small_scenario.domain_y.num_items
+        user = 7
+        pairwise = trained_model.cold_start_scores(
+            name_x, name_y, np.full(num_items, user, dtype=np.int64),
+            np.arange(num_items),
+        )
+        rec = server.recommend_one(user, k=num_items)
+        assert_rankings_equivalent(rec.items, brute_force_ranking(pairwise), pairwise)
+
+    def test_batched_equals_per_user(self, trained_model, small_scenario):
+        fresh = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                small_scenario.domain_y.name, top_k=5,
+                                cache_capacity=0)
+        users = [1, 4, 9, 2]
+        batched = fresh.recommend(users)
+        for user, rec in zip(users, batched):
+            single = fresh.recommend_one(user)
+            assert np.array_equal(rec.items, single.items)
+            # BLAS picks different kernels for 1-row and n-row products, so
+            # scores agree to float precision rather than bitwise.
+            np.testing.assert_allclose(rec.scores, single.scores,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_cache_hits_and_stats(self, trained_model, small_scenario):
+        fresh = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                small_scenario.domain_y.name, cache_capacity=16)
+        fresh.recommend([1, 2, 3])
+        encoded_first = fresh.stats.users_encoded
+        assert encoded_first == 3
+        fresh.recommend([2, 3, 4])
+        assert fresh.stats.users_encoded == encoded_first + 1
+        assert fresh.cache.hits == 2
+        assert fresh.stats.users_served == 6
+
+    def test_duplicate_users_encoded_once(self, trained_model, small_scenario):
+        fresh = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                small_scenario.domain_y.name, cache_capacity=0)
+        fresh.recommend([5, 5, 5, 6])
+        assert fresh.stats.users_encoded == 2
+
+    def test_refresh_rebuilds_after_weight_change(self, trained_model, small_scenario):
+        server = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                 small_scenario.domain_y.name, cache_capacity=8)
+        before = server.recommend_one(0, k=5)
+        state = trained_model.state_dict()
+        try:
+            perturbed = {k: v + 0.05 for k, v in state.items()}
+            trained_model.load_state_dict(perturbed)
+            server.refresh()
+            assert len(server.cache) == 0
+            after = server.recommend_one(0, k=5)
+            assert not np.array_equal(before.scores, after.scores)
+        finally:
+            trained_model.load_state_dict(state)
+            trained_model.refresh_eval_cache()
+
+    def test_score_pairs_scorer_protocol(self, server, small_scenario, trained_model):
+        users = np.array([0, 0, 3, 3], dtype=np.int64)
+        items = np.array([1, 2, 1, 2], dtype=np.int64)
+        reference = trained_model.cold_start_scores(
+            small_scenario.domain_x.name, small_scenario.domain_y.name, users, items
+        )
+        np.testing.assert_allclose(server.score_pairs(users, items), reference,
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestMetricsConsistency:
+    """Served positions must agree with ``eval.metrics.rank_of_positive``."""
+
+    def test_served_position_equals_metrics_rank(self, server, small_scenario):
+        from repro.eval.metrics import rank_of_positive
+
+        num_items = small_scenario.domain_y.num_items
+        for user in (0, 5, 12):
+            rec = server.recommend_one(user, k=num_items)
+            full_scores = server.index.scores(server.user_latents([user]))[0]
+            assert np.unique(full_scores).size == num_items  # no ties here
+            for position, item in enumerate(rec.items[:10], start=1):
+                # Move the item's score to index 0, as the metric expects.
+                rolled = np.concatenate(([full_scores[item]],
+                                         np.delete(full_scores, item)))
+                assert rank_of_positive(rolled, positive_index=0) == position
+
+    def test_tied_positions_bracket_metrics_ranks(self):
+        from repro.eval.metrics import rank_of_positive
+
+        # Three 4-way score ties: the served position of each item must sit
+        # between the optimistic and pessimistic metric ranks.
+        base = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        index = ItemIndex(np.concatenate([base, base, base, base]))
+        user = np.array([[2.0, 1.0]])
+        items, _ = index.top_k(user, k=12)
+        full_scores = index.scores(user)[0]
+        for position, item in enumerate(items[0], start=1):
+            rolled = np.concatenate(([full_scores[item]],
+                                     np.delete(full_scores, item)))
+            optimistic = rank_of_positive(rolled, tie_break="optimistic")
+            pessimistic = rank_of_positive(rolled, tie_break="pessimistic")
+            assert optimistic <= position <= pessimistic
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", np.array([1.0]))
+        cache.put("b", np.array([2.0]))
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("c", np.array([3.0]))   # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", np.array([1.0]))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", np.array([1.0]))
+        cache.get("a")
+        cache.get("z")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestRequestBatcher:
+    def test_auto_flush_on_full_batch(self, server):
+        batcher = RequestBatcher(server, max_batch_size=3)
+        first = batcher.submit(0)
+        second = batcher.submit(1)
+        assert not first.done and not second.done
+        third = batcher.submit(2)  # hits max_batch_size -> auto flush
+        assert first.done and second.done and third.done
+        assert batcher.batches_flushed == 1
+        assert len(batcher) == 0
+
+    def test_explicit_flush_and_result(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        ticket = batcher.submit(1, k=4)
+        with pytest.raises(RuntimeError):
+            ticket.result()
+        results = batcher.flush()
+        assert len(results) == 1
+        assert len(ticket.result()) == 4
+        assert ticket.result().user == 1
+
+    def test_batched_results_match_direct(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        tickets = [batcher.submit(u) for u in (3, 8, 3)]
+        batcher.flush()
+        direct = server.recommend([3, 8, 3])
+        for ticket, rec in zip(tickets, direct):
+            assert np.array_equal(ticket.result().items, rec.items)
+
+    def test_mixed_k_requests(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        small = batcher.submit(2, k=3)
+        default = batcher.submit(2)
+        batcher.flush()
+        assert len(small.result()) == 3
+        assert len(default.result()) == server.top_k
+        assert np.array_equal(small.result().items, default.result().items[:3])
+
+    def test_empty_flush(self, server):
+        assert RequestBatcher(server).flush() == []
+
+    def test_bad_batch_size(self, server):
+        with pytest.raises(ValueError):
+            RequestBatcher(server, max_batch_size=0)

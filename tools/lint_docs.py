@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Docstring linter for public modules (CI gate).
+
+Fails (exit code 1) if any public module under the given package directories
+lacks a module docstring, or if a public class / function / method defined
+there lacks a docstring.  "Public" means the name does not start with an
+underscore.  Used by the CI workflow to keep ``src/repro/serve/`` fully
+documented; run manually with::
+
+    python tools/lint_docs.py [dir ...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_TARGETS = ["src/repro/serve"]
+
+
+def iter_public_defs(tree: ast.Module):
+    """Yield (name, node) for public top-level and class-level definitions."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if not child.name.startswith("_"):
+                            yield f"{node.name}.{child.name}", child
+
+
+def lint_file(path: Path) -> list:
+    """Return a list of human-readable problems found in one module."""
+    problems = []
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring")
+    for name, node in iter_public_defs(tree):
+        if ast.get_docstring(node) is None:
+            problems.append(f"{path}:{node.lineno}: missing docstring on {name!r}")
+    return problems
+
+
+def main(argv: list) -> int:
+    """Lint every ``*.py`` file under the target directories."""
+    targets = [Path(arg) for arg in argv] or [Path(t) for t in DEFAULT_TARGETS]
+    problems = []
+    checked = 0
+    for target in targets:
+        if not target.exists():
+            problems.append(f"{target}: target directory does not exist")
+            continue
+        for path in sorted(target.rglob("*.py")):
+            if path.name.startswith("_") and path.name != "__init__.py":
+                continue
+            checked += 1
+            problems.extend(lint_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"lint_docs: checked {checked} module(s), {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
