@@ -2,7 +2,13 @@
 
 from . import ops
 from .gradcheck import check_gradients, numerical_gradient
-from .sparse import row_normalize, sparse_matmul, sparse_propagate, symmetric_normalize
+from .sparse import (
+    row_normalize,
+    sparse_matmul,
+    sparse_propagate,
+    sparse_propagate_grad,
+    symmetric_normalize,
+)
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
 
 __all__ = [
@@ -16,6 +22,7 @@ __all__ = [
     "ops",
     "sparse_matmul",
     "sparse_propagate",
+    "sparse_propagate_grad",
     "row_normalize",
     "symmetric_normalize",
     "check_gradients",

@@ -28,6 +28,11 @@ _DEFAULT_DTYPE = np.float64
 # (e.g. during evaluation).
 _GRAD_ENABLED = True
 
+# Monotone creation counter: in a define-by-run engine parents are always
+# created before their children, so descending creation order *is* a valid
+# reverse-topological order — backward() exploits this instead of a DFS sort.
+_SEQ_COUNTER = 0
+
 
 class no_grad:
     """Context manager *and* decorator that disables gradient tracking.
@@ -85,6 +90,10 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _node_seq(node: "Tensor") -> int:
+    return node._seq
+
+
 def _as_array(data: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
@@ -111,7 +120,8 @@ class Tensor:
         Optional human-readable label, useful when debugging graphs.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn",
+                 "name", "_seq")
 
     def __init__(
         self,
@@ -121,6 +131,7 @@ class Tensor:
         backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
         name: str = "",
     ):
+        global _SEQ_COUNTER
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
@@ -130,6 +141,8 @@ class Tensor:
         else:
             self._parents = ()
             self._backward_fn = None
+        _SEQ_COUNTER += 1
+        self._seq = _SEQ_COUNTER
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -150,6 +163,16 @@ class Tensor:
     @property
     def dtype(self):
         return self.data.dtype
+
+    @property
+    def needs_grad(self) -> bool:
+        """Whether backward must flow through this tensor.
+
+        True for leaf tensors with ``requires_grad`` and for any tensor
+        recorded with parents (an interior graph node).  Operations use this
+        to skip graph bookkeeping for purely constant subtrees.
+        """
+        return self.requires_grad or bool(self._parents)
 
     @property
     def T(self) -> "Tensor":
@@ -231,33 +254,42 @@ class Tensor:
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None:
                     continue
-                pgrad = _unbroadcast(
-                    np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape
-                )
-                if id(parent) in grads:
-                    grads[id(parent)] = grads[id(parent)] + pgrad
+                parent_data = parent.data
+                # Fast path: backward closures overwhelmingly return a
+                # ready-to-accumulate ndarray of the parent's exact shape
+                # and dtype; skip the coercion/unbroadcast machinery then.
+                if not (type(pgrad) is np.ndarray
+                        and pgrad.shape == parent_data.shape
+                        and pgrad.dtype == parent_data.dtype):
+                    pgrad = _unbroadcast(
+                        np.asarray(pgrad, dtype=parent_data.dtype), parent_data.shape
+                    )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
                 else:
-                    grads[id(parent)] = pgrad
+                    grads[key] = pgrad
 
     def _topological_order(self) -> list:
-        """Return nodes reachable from ``self`` in reverse topological order."""
-        visited = set()
-        order: list = []
+        """Return nodes reachable from ``self`` in reverse topological order.
 
-        stack = [(self, False)]
+        Parents are created strictly before their children, so sorting the
+        reachable set by descending creation sequence yields children-before-
+        parents order without the post-order DFS bookkeeping.
+        """
+        visited = {id(self)}
+        nodes = [self]
+        stack = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
+            node = stack.pop()
             for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-        return list(reversed(order))
+                key = id(parent)
+                if key not in visited:
+                    visited.add(key)
+                    nodes.append(parent)
+                    stack.append(parent)
+        nodes.sort(key=_node_seq, reverse=True)
+        return nodes
 
     # ------------------------------------------------------------------ #
     # Operator overloads (implemented in ops.py to avoid circular logic)

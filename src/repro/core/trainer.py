@@ -52,50 +52,90 @@ class TrainResult:
 
 
 class _EdgePool:
-    """A pool of (user, target_user, item) rows with per-step batch sampling."""
+    """A pool of (user, target_user, item) rows with per-step batch sampling.
+
+    ``vectorized`` selects the negative pool's draw strategy: the fast
+    engines presample with the sampler's stream-exact block draw, the
+    reference engine keeps the seed per-user loop (identical negatives either
+    way — the flag exists so benchmarks compare true seed behaviour).
+    """
 
     def __init__(self, rows: np.ndarray, sampler: NegativeSampler,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator, vectorized: bool = True):
         self.rows = rows
         self.sampler = sampler
         self.rng = rng
+        self.vectorized = vectorized
 
     def __len__(self) -> int:
         return int(self.rows.shape[0])
 
-    def sample_batch(self, batch_size: int, num_negatives: int
-                     ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    def pick_rows(self, batch_size: int
+                  ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Draw one batch of pool rows (trainer RNG only, no negatives yet)."""
         if len(self) == 0:
             return None
         size = min(batch_size, len(self))
         picks = self.rng.choice(len(self), size=size, replace=False)
         batch = self.rows[picks]
-        users = batch[:, 0]
-        target_users = batch[:, 1]
-        items = batch[:, 2]
-        negatives = self.sampler.sample_batch(target_users, num_negatives)
+        return batch[:, 0], batch[:, 1], batch[:, 2]
+
+    def sample_batch(self, batch_size: int, num_negatives: int
+                     ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        picked = self.pick_rows(batch_size)
+        if picked is None:
+            return None
+        users, target_users, items = picked
+        negatives = self.sampler.sample_batch(target_users, num_negatives,
+                                              vectorized=self.vectorized)
         return users, items, negatives
 
 
 class CDRIBTrainer:
-    """Fits a :class:`CDRIB` model on a :class:`CDRScenario`."""
+    """Fits a :class:`CDRIB` model on a :class:`CDRScenario`.
+
+    Parameters
+    ----------
+    engine:
+        ``"fused"`` (default) — fused propagation/loss kernels, a vectorized
+        flat-buffer Adam with in-step gradient clipping, and epoch-level
+        presampling of every step's edge picks and negative pools.
+        ``"subgraph"`` — everything in ``"fused"`` plus mini-batch subgraph
+        materialisation: the latent samples and reconstruction buffers of a
+        step are restricted to the users/items its batches touch.
+        ``"reference"`` — the seed op-by-op implementation, kept as the
+        faithfulness baseline: all three engines consume identical RNG
+        streams and produce per-step losses equal to ~1e-12 (pinned by the
+        golden-trajectory tests) and throughput is benchmarked against this
+        path in ``benchmarks/test_training_throughput.py``.
+    """
+
+    ENGINES = ("fused", "subgraph", "reference")
 
     def __init__(self, model: CDRIB, scenario: Optional[CDRScenario] = None,
-                 evaluator: Optional[LeaveOneOutEvaluator] = None):
+                 evaluator: Optional[LeaveOneOutEvaluator] = None,
+                 engine: str = "fused"):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
         self.model = model
         self.scenario = scenario if scenario is not None else model.scenario
         self.config: CDRIBConfig = model.config
         self.evaluator = evaluator
+        self.engine = engine
+        self.max_grad_norm = 5.0
         self._rng = np.random.default_rng(self.config.seed + 1)
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
-                              weight_decay=self.config.weight_decay)
+                              weight_decay=self.config.weight_decay,
+                              fused=engine != "reference")
         self._pools = self._build_pools()
+        self._pending_batches: List[Dict[str, np.ndarray]] = []
 
     # ------------------------------------------------------------------ #
     # Data preparation
     # ------------------------------------------------------------------ #
     def _build_pools(self) -> Dict[str, _EdgePool]:
         scenario = self.scenario
+        vectorized = self.engine != "reference"
         dx, dy = scenario.domain_x, scenario.domain_y
         sampler_x = NegativeSampler(dx.graph, seed=self.config.seed + 11)
         sampler_y = NegativeSampler(dy.graph, seed=self.config.seed + 13)
@@ -107,8 +147,10 @@ class CDRIBTrainer:
             return np.column_stack([edges[:, 0], edges[:, 0], edges[:, 1]])
 
         pools = {
-            "in_x": _EdgePool(in_domain_rows(dx.graph), sampler_x, self._rng),
-            "in_y": _EdgePool(in_domain_rows(dy.graph), sampler_y, self._rng),
+            "in_x": _EdgePool(in_domain_rows(dx.graph), sampler_x, self._rng,
+                              vectorized=vectorized),
+            "in_y": _EdgePool(in_domain_rows(dy.graph), sampler_y, self._rng,
+                              vectorized=vectorized),
         }
 
         # Cross-domain pools: target-domain edges of training overlap users,
@@ -127,10 +169,12 @@ class CDRIBTrainer:
             for u, i in dx.graph.edges if int(u) in map_x_to_y
         ]
         pools["cross_x_to_y"] = _EdgePool(
-            np.asarray(cross_rows_y, dtype=np.int64).reshape(-1, 3), sampler_y, self._rng
+            np.asarray(cross_rows_y, dtype=np.int64).reshape(-1, 3), sampler_y,
+            self._rng, vectorized=vectorized,
         )
         pools["cross_y_to_x"] = _EdgePool(
-            np.asarray(cross_rows_x, dtype=np.int64).reshape(-1, 3), sampler_x, self._rng
+            np.asarray(cross_rows_x, dtype=np.int64).reshape(-1, 3), sampler_x,
+            self._rng, vectorized=vectorized,
         )
         return pools
 
@@ -155,24 +199,112 @@ class CDRIBTrainer:
             batches["overlap"] = pairs[picks]
         return batches
 
+    def _presample_epoch(self, steps: int) -> List[Dict[str, np.ndarray]]:
+        """Draw every step's edge picks and negative pools for one epoch.
+
+        Trainer-RNG draws (pool picks, overlap picks) happen step-major in
+        the reference per-step order; each negative sampler then serves *all*
+        of its pool batches of the epoch in one chained block draw — valid
+        because the trainer and the two samplers are independent generators,
+        and within each sampler's own stream the epoch's batches are
+        consecutive.  Batches are identical to the reference engine's lazy
+        per-step :meth:`_build_batches` draws.
+        """
+        cfg = self.config
+        picked_steps = []
+        overlaps = []
+        pairs = self.scenario.overlap_pairs
+        for _ in range(steps):
+            picked_steps.append({name: pool.pick_rows(cfg.batch_size)
+                                 for name, pool in self._pools.items()})
+            overlap = None
+            if pairs.shape[0]:
+                size = min(cfg.batch_size, pairs.shape[0])
+                picks = self._rng.choice(pairs.shape[0], size=size, replace=False)
+                overlap = pairs[picks]
+            overlaps.append(overlap)
+
+        batches_steps: List[Dict[str, np.ndarray]] = [{} for _ in range(steps)]
+        # Pool pairs per sampler; groups chained step-major, matching the
+        # reference order of that sampler's draws.
+        for keys in (("in_x", "cross_y_to_x"), ("in_y", "cross_x_to_y")):
+            groups = []
+            slots = []
+            for step, picked in enumerate(picked_steps):
+                for key in keys:
+                    if picked[key] is not None:
+                        groups.append(picked[key][1])
+                        slots.append((step, key))
+            if not groups:
+                continue
+            sampler = self._pools[keys[0]].sampler
+            negatives = sampler.sample_batch_chained(groups, cfg.num_negatives)
+            for (step, key), negs in zip(slots, negatives):
+                users, _, items = picked_steps[step][key]
+                batches_steps[step][key] = (users, items, negs)
+        for step, overlap in enumerate(overlaps):
+            if overlap is not None:
+                batches_steps[step]["overlap"] = overlap
+        return batches_steps
+
+    def _next_batch(self) -> Dict[str, np.ndarray]:
+        """Return the next step's batches.
+
+        The fast engines presample a whole epoch at a time; leftovers survive
+        in ``_pending_batches`` across :meth:`run_steps` / :meth:`train_epoch`
+        calls so the number of *consumed* step draws — and therefore the RNG
+        stream — always equals the reference engine's lazy per-step draws.
+        """
+        if self.engine == "reference":
+            return self._build_batches()
+        if not self._pending_batches:
+            self._pending_batches = self._presample_epoch(self.steps_per_epoch())
+        return self._pending_batches.pop(0)
+
+    def _apply_step(self, batches: Dict[str, np.ndarray]) -> Dict[str, float]:
+        """One optimisation step on prepared batches; returns diagnostics."""
+        self.optimizer.zero_grad()
+        if self.engine == "reference":
+            loss, diagnostics = self.model.training_loss(batches, fused=False)
+            loss.backward()
+            clip_grad_norm(self.optimizer.parameters, max_norm=self.max_grad_norm)
+            self.optimizer.step()
+        else:
+            loss, diagnostics = self.model.training_loss(
+                batches, fused=True, subgraph=self.engine == "subgraph"
+            )
+            loss.backward()
+            self.optimizer.step(max_grad_norm=self.max_grad_norm)
+        return diagnostics
+
     def train_epoch(self) -> Tuple[float, Dict[str, float]]:
         """Run one epoch of mini-batch updates; returns (mean loss, mean terms)."""
         self.model.train()
         losses: List[float] = []
         term_sums: Dict[str, float] = {}
         for _ in range(self.steps_per_epoch()):
-            batches = self._build_batches()
-            self.optimizer.zero_grad()
-            loss, diagnostics = self.model.training_loss(batches)
-            loss.backward()
-            clip_grad_norm(self.optimizer.parameters, max_norm=5.0)
-            self.optimizer.step()
+            diagnostics = self._apply_step(self._next_batch())
             losses.append(diagnostics["total"])
             for key, value in diagnostics.items():
                 term_sums[key] = term_sums.get(key, 0.0) + value
         steps = max(1, len(losses))
         term_means = {key: value / steps for key, value in term_sums.items()}
         return float(np.mean(losses)), term_means
+
+    def run_steps(self, num_steps: int) -> List[float]:
+        """Run exactly ``num_steps`` optimisation steps; returns per-step losses.
+
+        Batches are drawn with the same epoch structure (and therefore the
+        same RNG streams) as :meth:`fit`, so the returned loss sequence is
+        the prefix of a normal training run — the contract the
+        golden-trajectory tests and the throughput benchmark rely on.
+        """
+        self.model.train()
+        losses: List[float] = []
+        for _ in range(num_steps):
+            diagnostics = self._apply_step(self._next_batch())
+            losses.append(diagnostics["total"])
+        return losses
 
     def fit(self, epochs: Optional[int] = None, eval_every: int = 0,
             verbose: bool = False) -> TrainResult:

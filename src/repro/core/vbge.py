@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, ops, sparse_matmul, sparse_propagate
+from ..autograd import Tensor, ops, sparse_matmul, sparse_propagate, sparse_propagate_grad
 from ..graph import BipartiteGraph
 from ..nn import Dropout, Linear, Module
 
@@ -39,11 +39,19 @@ def _as_ndarray(features) -> np.ndarray:
 
 @dataclass
 class GaussianLatent:
-    """Mean / standard deviation / sample triple for one node set."""
+    """Mean / standard deviation / sample triple for one node set.
+
+    When sampling is *deferred* (mini-batch subgraph training), ``z`` is
+    ``None`` and ``noise`` holds the full pre-drawn reparameterisation noise;
+    the trainer materialises ``mu + sigma * noise`` only for the rows a step
+    actually touches.  The noise is always drawn full-shape so the RNG stream
+    matches the eager path exactly.
+    """
 
     mu: Tensor
     sigma: Tensor
-    z: Tensor
+    z: Optional[Tensor]
+    noise: Optional[np.ndarray] = None
 
     def deterministic(self) -> Tensor:
         """Representation to use at inference time (the posterior mean)."""
@@ -60,12 +68,23 @@ class PropagationBlock(Module):
         self.from_neighbor = Linear(dim, dim, bias=False, rng=rng)
         self.negative_slope = negative_slope
 
-    def forward(self, features: Tensor, push, pull) -> Tensor:
+    def forward(self, features: Tensor, push, pull,
+                push_t=None, pull_t=None) -> Tensor:
         """Propagate ``features`` out through ``push`` and back through ``pull``.
 
         ``push`` has shape (n_other, n_self) and ``pull`` (n_self, n_other);
-        for users these are Norm(A^T) and Norm(A) respectively.
+        for users these are Norm(A^T) and Norm(A) respectively.  When the
+        cached CSR transposes ``push_t`` / ``pull_t`` are supplied the block
+        runs as one fused :func:`sparse_propagate_grad` node (same values and
+        gradients, a fraction of the bookkeeping); otherwise the op-by-op
+        reference pipeline is used.
         """
+        if push_t is not None and pull_t is not None:
+            return sparse_propagate_grad(
+                push, pull, features,
+                self.to_neighbor.weight, self.from_neighbor.weight,
+                self.negative_slope, push_t=push_t, pull_t=pull_t,
+            )
         interim = ops.leaky_relu(
             sparse_matmul(push, self.to_neighbor(features)), self.negative_slope
         )
@@ -114,6 +133,22 @@ class GaussianHead(Module):
         # Clamp the standard deviation away from zero for numerical stability
         # of the KL term; the offset is tiny and does not bias training.
         sigma = ops.add(sigma, 1e-4)
+        return mu, sigma
+
+    def forward_fused(self, features: Tensor) -> Tuple[Tensor, Tensor]:
+        """Grad-aware fused (mu, sigma): two nodes instead of ~eight.
+
+        Bitwise-equal to :meth:`forward` — the fused kernels perform the same
+        numpy operations in the same order (see
+        :func:`repro.autograd.ops.fused_linear_leaky_relu`).
+        """
+        mu = ops.fused_linear_leaky_relu(
+            features, self.mu_layer.weight, self.mu_layer.bias, self.negative_slope
+        )
+        sigma = ops.fused_linear_softplus(
+            features, self.sigma_layer.weight, self.sigma_layer.bias,
+            pre_shift=self.sigma_bias, post_shift=1e-4,
+        )
         return mu, sigma
 
     def infer(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -176,13 +211,31 @@ class VBGE(Module):
     # Encoding
     # ------------------------------------------------------------------ #
     def encode(self, user_embeddings: Tensor, item_embeddings: Tensor,
-               graph: BipartiteGraph) -> Tuple[GaussianLatent, GaussianLatent]:
+               graph: BipartiteGraph, fused: bool = True,
+               defer_sample: bool = False) -> Tuple[GaussianLatent, GaussianLatent]:
         """Encode every user and item of the domain.
 
         Returns a pair of :class:`GaussianLatent` objects (users, items).
+
+        Parameters
+        ----------
+        fused:
+            Run each propagation block and Gaussian head as fused autograd
+            nodes with the graph's cached CSR transposes (default).  The
+            reference op-by-op pipeline (``fused=False``) computes identical
+            values and gradients and is kept for the faithfulness tests.
+        defer_sample:
+            Draw the reparameterisation noise but leave ``z`` unmaterialised
+            (see :class:`GaussianLatent`); used by mini-batch subgraph
+            training.  The RNG stream is identical either way.
         """
         norm_i2u = graph.norm_item_to_user()   # (|U|, |V|)  — Norm(A)
         norm_u2i = graph.norm_user_to_item()   # (|V|, |U|)  — Norm(A^T)
+        if fused:
+            norm_i2u_t = graph.norm_item_to_user_t()
+            norm_u2i_t = graph.norm_user_to_item_t()
+        else:
+            norm_i2u_t = norm_u2i_t = None
 
         users = self.user_dropout(user_embeddings)
         items = self.item_dropout(item_embeddings)
@@ -190,21 +243,67 @@ class VBGE(Module):
         user_outputs = [users]
         hidden = users
         for block in self.user_blocks:
-            hidden = block(hidden, push=norm_u2i, pull=norm_i2u)
+            hidden = block(hidden, push=norm_u2i, pull=norm_i2u,
+                           push_t=norm_u2i_t, pull_t=norm_i2u_t)
             user_outputs.append(hidden)
 
         item_outputs = [items]
         hidden = items
         for block in self.item_blocks:
-            hidden = block(hidden, push=norm_i2u, pull=norm_u2i)
+            hidden = block(hidden, push=norm_i2u, pull=norm_u2i,
+                           push_t=norm_i2u_t, pull_t=norm_u2i_t)
             item_outputs.append(hidden)
 
-        user_mu, user_sigma = self.user_head(ops.concat(user_outputs, axis=-1))
-        item_mu, item_sigma = self.item_head(ops.concat(item_outputs, axis=-1))
+        user_features = ops.concat(user_outputs, axis=-1)
+        item_features = ops.concat(item_outputs, axis=-1)
+        if fused:
+            user_mu, user_sigma = self.user_head.forward_fused(user_features)
+            item_mu, item_sigma = self.item_head.forward_fused(item_features)
+        else:
+            user_mu, user_sigma = self.user_head(user_features)
+            item_mu, item_sigma = self.item_head(item_features)
 
-        user_latent = self._sample(user_mu, user_sigma)
-        item_latent = self._sample(item_mu, item_sigma)
+        user_latent = self._sample(user_mu, user_sigma, defer=defer_sample)
+        item_latent = self._sample(item_mu, item_sigma, defer=defer_sample)
         return user_latent, item_latent
+
+    def encode_users_subgraph(self, user_embeddings: Tensor,
+                              graph: BipartiteGraph,
+                              user_indices: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Gradient-capable row-sliced (mu, sigma) for a batch of users.
+
+        The differentiable counterpart of :meth:`encode_users_batch`: the
+        final pull step and the Gaussian head run only on ``user_indices``
+        (via the ``pull_rows`` slicing of :func:`sparse_propagate_grad`)
+        while earlier hops span the full graph, which is required for
+        exactness.  Gradients scatter back through the sliced adjacency into
+        the full embedding table.  Useful for workloads whose objective only
+        involves batch rows (e.g. head fine-tuning); the full CDRIB objective
+        also needs the all-rows KL term, so the trainer uses :meth:`encode`.
+        """
+        index = np.asarray(user_indices, dtype=np.int64)
+        norm_i2u = graph.norm_item_to_user()
+        norm_u2i = graph.norm_user_to_item()
+        norm_u2i_t = graph.norm_user_to_item_t()
+        norm_i2u_t = graph.norm_item_to_user_t()
+
+        users = self.user_dropout(user_embeddings)
+        outputs = [users[index]]
+        hidden = users
+        for layer, block in enumerate(self.user_blocks):
+            is_last = layer == len(self.user_blocks) - 1
+            if is_last:
+                outputs.append(sparse_propagate_grad(
+                    norm_u2i, norm_i2u, hidden,
+                    block.to_neighbor.weight, block.from_neighbor.weight,
+                    block.negative_slope, push_t=norm_u2i_t,
+                    pull_rows=index,
+                ))
+            else:
+                hidden = block(hidden, push=norm_u2i, pull=norm_i2u,
+                               push_t=norm_u2i_t, pull_t=norm_i2u_t)
+                outputs.append(hidden[index])
+        return self.user_head.forward_fused(ops.concat(outputs, axis=-1))
 
     # ------------------------------------------------------------------ #
     # Inference fast paths (serving)
@@ -277,8 +376,14 @@ class VBGE(Module):
             outputs.append(hidden)
         return self.item_head.infer(np.concatenate(outputs, axis=-1))
 
-    def _sample(self, mu: Tensor, sigma: Tensor) -> GaussianLatent:
+    def _sample(self, mu: Tensor, sigma: Tensor,
+                defer: bool = False) -> GaussianLatent:
         if self.deterministic or not self.training:
             return GaussianLatent(mu=mu, sigma=sigma, z=mu)
+        if defer:
+            # Same full-shape draw as gaussian_reparameterize (identical RNG
+            # stream); z is materialised later only for touched rows.
+            noise = self._rng.standard_normal(mu.data.shape)
+            return GaussianLatent(mu=mu, sigma=sigma, z=None, noise=noise)
         z = ops.gaussian_reparameterize(mu, sigma, rng=self._rng)
         return GaussianLatent(mu=mu, sigma=sigma, z=z)

@@ -1,4 +1,17 @@
-"""Negative sampling and mini-batch iteration over interaction edges."""
+"""Negative sampling and mini-batch iteration over interaction edges.
+
+The batch sampler is the training loop's hottest Python path, so
+:meth:`NegativeSampler.sample_batch` runs a *vectorized block draw* that is
+bit-for-bit faithful to the per-user rejection loop of
+:meth:`NegativeSampler.sample_for_user`: numpy's PCG64 bounded-integer
+generation is sequential per element (one size-S call consumes the stream
+exactly like S consecutive size-1 calls), so the batch path can draw every
+user's rejection window in one call, vectorize the accept/reject decisions,
+and — when a user's window under-fills — reposition the generator exactly by
+restoring the saved state and re-drawing the consumed prefix.  Identical
+seeds therefore produce identical negatives (and identical downstream
+training trajectories) on both paths.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +20,39 @@ from typing import Dict, Iterator, Optional, Set, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
+
+
+def _mask_duplicates(values: np.ndarray, acceptable: np.ndarray) -> None:
+    """Clear ``acceptable`` for row-wise repeat occurrences, in place.
+
+    For the narrow windows of the rejection sampler a pairwise sweep beats
+    sort-based dedup by a wide margin; wide windows fall back to a stable
+    argsort.
+    """
+    span = values.shape[1]
+    if span == 4:
+        # The common window (2 negatives -> 4 draws), fully unrolled: each
+        # position is compared against every earlier one with flat 1-D ops.
+        c0, c1, c2, c3 = (values[:, 0], values[:, 1], values[:, 2], values[:, 3])
+        acceptable[:, 1] &= c1 != c0
+        acceptable[:, 2] &= (c2 != c0) & (c2 != c1)
+        acceptable[:, 3] &= (c3 != c0) & (c3 != c1) & (c3 != c2)
+        return
+    if span <= 16:
+        for j in range(1, span):
+            col = values[:, j]
+            fresh = col != values[:, 0]
+            for k in range(1, j):
+                fresh &= col != values[:, k]
+            acceptable[:, j] &= fresh
+        return
+    order = np.argsort(values, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(values, order, axis=1)
+    keep_sorted = np.ones(values.shape, dtype=bool)
+    keep_sorted[:, 1:] = sorted_vals[:, 1:] != sorted_vals[:, :-1]
+    keep = np.empty_like(keep_sorted)
+    np.put_along_axis(keep, order, keep_sorted, axis=1)
+    acceptable &= keep
 
 
 class NegativeSampler:
@@ -21,6 +67,26 @@ class NegativeSampler:
         self.num_items = graph.num_items
         self._interacted: Dict[int, Set[int]] = graph.user_item_set()
         self._rng = np.random.default_rng(seed)
+        # Vectorized-membership structures for the block fast path: per-user
+        # degrees plus either a dense boolean interaction matrix (small
+        # graphs; fancy-indexed lookups are ~4x faster than a binary search)
+        # or the sorted (user * num_items + item) keys of every edge.
+        self._degrees = graph.user_degrees()
+        if graph.edges.size:
+            self._edge_keys = np.sort(
+                graph.edges[:, 0] * np.int64(self.num_items) + graph.edges[:, 1]
+            )
+        else:
+            self._edge_keys = np.empty(0, dtype=np.int64)
+        if graph.edges.size and graph.num_users * self.num_items <= 16_000_000:
+            self._member_matrix = np.zeros((graph.num_users, self.num_items),
+                                           dtype=bool)
+            self._member_matrix[graph.edges[:, 0], graph.edges[:, 1]] = True
+            # Complement view so the hot path gathers "acceptable" directly.
+            self._nonmember_matrix = ~self._member_matrix
+        else:
+            self._member_matrix = None
+            self._nonmember_matrix = None
 
     def sample_for_user(self, user: int, count: int,
                         exclude: Optional[Set[int]] = None) -> np.ndarray:
@@ -54,19 +120,169 @@ class NegativeSampler:
                     break
         return negatives
 
-    def sample_batch(self, users: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+    def sample_batch(self, users: np.ndarray, num_negatives: int = 1,
+                     vectorized: bool = True) -> np.ndarray:
         """Per-user sampling: shape (len(users), num_negatives).
 
         Users with fewer unobserved items than ``num_negatives`` reuse their
         available negatives (sampling with replacement) so training batches
         keep a rectangular shape even on extremely dense toy graphs.
+
+        ``vectorized=False`` forces the seed per-user loop; both paths draw
+        bit-identical negatives and leave the generator in the same state
+        (the block path is a stream-exact vectorisation, see
+        :meth:`_sample_batch_block`), so this switch only exists to benchmark
+        and test the fast path against the reference.
         """
+        users = np.asarray(users, dtype=np.int64)
+        if users.size == 0:
+            return np.empty((0, num_negatives), dtype=np.int64)
+        if vectorized:
+            available = self.num_items - self._degrees[users]
+            if not np.any(available <= num_negatives):
+                return self._sample_batch_block(users, num_negatives)
+        # Dense users need the complement / replacement fallback, whose RNG
+        # consumption differs per user — take the exact reference path.
+        return self._sample_batch_reference(users, num_negatives)
+
+    def sample_batch_chained(self, user_groups, num_negatives: int = 1):
+        """Sample negatives for several consecutive batches in one block draw.
+
+        ``user_groups`` is a sequence of user index arrays that this sampler
+        would otherwise serve with back-to-back :meth:`sample_batch` calls
+        (e.g. the in-domain and cross-domain pools of one trainer step).
+        Because the per-user stream consumption is position-independent,
+        processing the concatenation in a single block draw consumes the RNG
+        identically while paying the draw/reposition fixed costs once.
+        Returns one (len(group), num_negatives) array per group.
+        """
+        groups = [np.asarray(g, dtype=np.int64) for g in user_groups]
+        sizes = [g.shape[0] for g in groups]
+        flat = np.concatenate([g for g in groups if g.size]) if any(sizes) else None
+        if flat is None:
+            return [np.empty((0, num_negatives), dtype=np.int64) for _ in groups]
+        available = self.num_items - self._degrees[flat]
+        if np.any(available <= num_negatives):
+            # Dense users change per-user RNG consumption; fall back to
+            # per-batch sampling in stream order (each batch still uses the
+            # block path when its own users allow it).
+            return [self.sample_batch(g, num_negatives) for g in groups]
+        combined = self._sample_batch_block(flat, num_negatives)
+        outputs = []
+        offset = 0
+        for size in sizes:
+            outputs.append(combined[offset:offset + size])
+            offset += size
+        return outputs
+
+    def _sample_batch_reference(self, users: np.ndarray, num_negatives: int
+                                ) -> np.ndarray:
+        """The seed per-user loop (dense-graph fallback)."""
         out = np.empty((len(users), num_negatives), dtype=np.int64)
         for row, user in enumerate(users):
             negatives = self.sample_for_user(int(user), num_negatives)
             if negatives.shape[0] < num_negatives:
                 negatives = self._rng.choice(negatives, size=num_negatives, replace=True)
             out[row] = negatives[:num_negatives]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Vectorized block fast path
+    # ------------------------------------------------------------------ #
+    def _banned_mask(self, users: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Membership of (user, draw) pairs in the interaction edge set."""
+        if self._member_matrix is not None:
+            return self._member_matrix[users[:, None], draws]
+        if not self._edge_keys.size:
+            return np.zeros(draws.shape, dtype=bool)
+        keys = (users[:, None] * np.int64(self.num_items) + draws).ravel()
+        pos = np.searchsorted(self._edge_keys, keys)
+        np.minimum(pos, self._edge_keys.size - 1, out=pos)
+        return (self._edge_keys[pos] == keys).reshape(draws.shape)
+
+    # Users re-vectorized per attempt after a failure breaks the window
+    # layout.  Small enough that a failure inside the chunk wastes little
+    # masking work, large enough that failure-free stretches advance fast.
+    _CHUNK = 64
+
+    def _sample_batch_block(self, users: np.ndarray, count: int) -> np.ndarray:
+        """Vectorized draw matching the per-user rejection loop bit-for-bit.
+
+        One ``integers`` call draws every user's first rejection window
+        (2 * count values each); accept/reject/dedup are resolved with array
+        operations.  A user whose window under-fills shifts every later
+        user's window in the stream, so the committed prefix is kept, the
+        failing user is resolved with a tight scalar loop reading further
+        values from the same stream (chunk invariance), and vectorized
+        processing resumes in :attr:`_CHUNK`-sized slices.  Finally the
+        generator is repositioned exactly by restoring the pre-draw state
+        and re-drawing the consumed prefix, so the RNG stream is identical
+        to the reference per-user path.
+        """
+        rng = self._rng
+        n_items = self.num_items
+        n_users = users.shape[0]
+        span = 2 * count
+        state = rng.bit_generator.state
+        buffer = rng.integers(0, n_items, size=n_users * span)
+        total_drawn = buffer.size
+        out = np.empty((n_users, count), dtype=np.int64)
+        consumed = 0
+        row = 0
+        chunk = n_users  # first attempt covers the whole batch
+
+        def ensure(upto: int) -> None:
+            nonlocal buffer, total_drawn
+            if upto > total_drawn:
+                grow = max(upto - total_drawn, 256)
+                buffer = np.concatenate([buffer, rng.integers(0, n_items, size=grow)])
+                total_drawn = buffer.size
+
+        while row < n_users:
+            num = min(chunk, n_users - row)
+            need = num * span
+            ensure(consumed + need)
+            draws = buffer[consumed:consumed + need].reshape(num, span)
+            if self._nonmember_matrix is not None:
+                acceptable = self._nonmember_matrix[users[row:row + num, None], draws]
+            else:
+                acceptable = self._banned_mask(users[row:row + num], draws)
+                np.logical_not(acceptable, out=acceptable)
+            _mask_duplicates(draws, acceptable)
+            under = acceptable.sum(axis=1) < count
+            commit = int(under.argmax()) if under.any() else num
+            if commit:
+                committed = acceptable[:commit]
+                fills = committed.cumsum(axis=1)
+                take = committed & (fills <= count)
+                out[row:row + commit] = draws[:commit][take].reshape(commit, count)
+                consumed += commit * span
+                row += commit
+            if commit < num:
+                # users[row] under-filled its first window: replay the exact
+                # per-user rounds with scalar operations.
+                banned = self._interacted.get(int(users[row]), set())
+                picked: list = []
+                while len(picked) < count:
+                    round_size = (count - len(picked)) * 2
+                    ensure(consumed + round_size)
+                    window = buffer[consumed:consumed + round_size]
+                    consumed += round_size
+                    for item in window.tolist():
+                        if item in banned or item in picked:
+                            continue
+                        picked.append(item)
+                        if len(picked) == count:
+                            break
+                out[row] = picked
+                row += 1
+                chunk = self._CHUNK
+
+        if consumed != total_drawn:
+            # Reposition the generator exactly where the sequential algorithm
+            # would have left it: restore and re-draw the consumed prefix.
+            rng.bit_generator.state = state
+            rng.integers(0, n_items, size=consumed)
         return out
 
 

@@ -20,6 +20,7 @@ from .runners import (
     run_main_comparison,
     run_overlap_ratio,
     run_serving_benchmark,
+    run_training_benchmark,
     train_cdrib,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "run_beta_sweep",
     "run_layer_sweep",
     "run_serving_benchmark",
+    "run_training_benchmark",
     "format_rows",
     "save_rows_json",
     "save_rows_csv",

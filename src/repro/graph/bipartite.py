@@ -116,6 +116,21 @@ class BipartiteGraph:
         """Row-normalised ``A``: Norm(A) in Eq. 3."""
         return self._cached("norm_i2u", lambda: row_normalize(self.adjacency()))
 
+    def norm_user_to_item_t(self) -> sp.csr_matrix:
+        """Cached CSR transpose of :meth:`norm_user_to_item`.
+
+        The backward pass of every propagation step multiplies by the
+        transposed normalised adjacency; caching it here means the training
+        loop transposes each (|V| x |U|) matrix once per graph instead of
+        once per layer per step.  (Note this is *not* ``norm_item_to_user`` —
+        transposing does not commute with row normalisation.)
+        """
+        return self._cached("norm_u2i_t", lambda: self.norm_user_to_item().T.tocsr())
+
+    def norm_item_to_user_t(self) -> sp.csr_matrix:
+        """Cached CSR transpose of :meth:`norm_item_to_user` (see above)."""
+        return self._cached("norm_i2u_t", lambda: self.norm_item_to_user().T.tocsr())
+
     def joint_normalized_adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
         """Symmetric-normalised (|U|+|V|) square adjacency for GCN baselines.
 

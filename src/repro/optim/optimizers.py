@@ -69,11 +69,23 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used for CDRIB."""
+    """Adam optimizer (Kingma & Ba, 2015) — the optimizer used for CDRIB.
+
+    With ``fused=True`` the per-parameter Python update loop is replaced by
+    vectorized elementwise updates over one flattened buffer spanning every
+    parameter, and gradient-norm clipping can run inside :meth:`step`
+    (``max_grad_norm``) on the same buffer.  All elementwise operations are
+    identical to the reference loop, so fused and unfused trajectories are
+    bitwise-equal; the only observable difference is that in-step clipping
+    leaves ``param.grad`` unscaled (the scaled copy lives in the flat
+    buffer).  Steps where some parameters have no gradient fall back to an
+    in-place per-parameter loop with the exact reference semantics
+    (shared first/second-moment state, global step count).
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 0.001,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0):
+                 weight_decay: float = 0.0, fused: bool = False):
         super().__init__(parameters, lr, weight_decay)
         beta1, beta2 = betas
         if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
@@ -81,11 +93,80 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
+        self.fused = bool(fused)
         self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        if self.fused:
+            sizes = [p.data.size for p in self.parameters]
+            self._offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+            total = int(self._offsets[-1])
+            self._flat_m = np.zeros(total)
+            self._flat_v = np.zeros(total)
+            # Per-parameter moment views into the flat buffers, so the
+            # missing-gradient fallback shares state with the fast path.
+            self._m = [self._flat_m[self._offsets[i]:self._offsets[i + 1]]
+                       .reshape(p.data.shape) for i, p in enumerate(self.parameters)]
+            self._v = [self._flat_v[self._offsets[i]:self._offsets[i + 1]]
+                       .reshape(p.data.shape) for i, p in enumerate(self.parameters)]
+            self._master: Optional[np.ndarray] = None
+            self._adopt_parameters()
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.parameters]
+            self._v = [np.zeros_like(p.data) for p in self.parameters]
 
-    def step(self) -> None:
+    def step(self, max_grad_norm: Optional[float] = None) -> None:
+        if not self.fused:
+            if max_grad_norm is not None:
+                clip_grad_norm(self.parameters, max_grad_norm)
+            self._step_reference()
+            return
+        grads = [param.grad for param in self.parameters]
+        if any(grad is None for grad in grads):
+            if max_grad_norm is not None:
+                clip_grad_norm(self.parameters, max_grad_norm)
+            self._step_inplace_fallback()
+            return
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        flat_grad = np.concatenate([grad.ravel() for grad in grads])
+        if max_grad_norm is not None:
+            # One fused dot product instead of clip_grad_norm's per-parameter
+            # loop; the summation order differs from the reference only at
+            # the last ulp of the norm.
+            total = float(np.sqrt(flat_grad @ flat_grad))
+            if total > max_grad_norm and total > 0:
+                flat_grad *= max_grad_norm / total
+        master = self._master
+        if any(p.data.base is not master for p in self.parameters):
+            self._adopt_parameters()
+            master = self._master
+        if self.weight_decay > 0:
+            flat_grad = flat_grad + self.weight_decay * master
+        m, v = self._flat_m, self._flat_v
+        m *= self.beta1
+        m += (1 - self.beta1) * flat_grad
+        v *= self.beta2
+        v += (1 - self.beta2) * flat_grad ** 2
+        m_hat = m / bias1
+        v_hat = v / bias2
+        master -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _adopt_parameters(self) -> None:
+        """(Re)alias every ``param.data`` as a view into one master buffer.
+
+        Fused updates then mutate the master in place — no per-step gather or
+        scatter.  External rebinds of ``param.data`` (``load_state_dict``,
+        manual surgery) are detected at the next step via the ``.base`` check
+        and re-adopted here, so values always follow the parameters.
+        """
+        self._master = np.concatenate([p.data.ravel() for p in self.parameters])
+        offsets = self._offsets
+        for index, param in enumerate(self.parameters):
+            param.data = (self._master[offsets[index]:offsets[index + 1]]
+                          .reshape(param.data.shape))
+
+    def _step_reference(self) -> None:
+        """The seed per-parameter update loop (kept verbatim)."""
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
@@ -98,6 +179,33 @@ class Adam(Optimizer):
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_inplace_fallback(self) -> None:
+        """Reference-semantics update that keeps the flat-view aliasing.
+
+        Used by the fused optimizer when some parameters have no gradient
+        this step; the moment updates write *in place* so the views into the
+        flat buffers stay valid, with values bitwise-equal to the reference
+        loop.
+        """
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, param in enumerate(self.parameters):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            m, v = self._m[index], self._v[index]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            # In-place so param.data stays a master-buffer view: a scenario
+            # that hits this fallback repeatedly (a parameter that never
+            # receives gradients) must not detach the fast path.
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -15,7 +15,8 @@ wrap ``submit``/``flush`` without changing the core.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time
+from typing import Callable, List, Optional
 
 from .server import ColdStartServer, Recommendation
 
@@ -56,32 +57,70 @@ class RequestBatcher:
     max_batch_size:
         Auto-flush threshold; queueing the ``max_batch_size``-th request
         triggers an immediate flush.
+    max_delay:
+        Optional age limit (seconds) for the oldest queued request.  A
+        ``submit`` or :meth:`poll` that finds the queue older than this
+        flushes the partial batch, bounding tail latency under light
+        traffic.  ``None`` (default) keeps the original size-only policy.
+    clock:
+        Monotonic time source; injectable so timeout behaviour is testable
+        without sleeping.
     """
 
-    def __init__(self, server: ColdStartServer, max_batch_size: int = 256):
+    def __init__(self, server: ColdStartServer, max_batch_size: int = 256,
+                 max_delay: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_delay is not None and max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative, got {max_delay}")
         self.server = server
         self.max_batch_size = int(max_batch_size)
+        self.max_delay = max_delay
+        self._clock = clock
+        self._oldest_enqueued: Optional[float] = None
         self._queue: List[PendingRequest] = []
         self.batches_flushed = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
+    def _deadline_passed(self) -> bool:
+        return (self.max_delay is not None
+                and self._oldest_enqueued is not None
+                and self._clock() - self._oldest_enqueued >= self.max_delay)
+
     def submit(self, user: int, k: Optional[int] = None) -> PendingRequest:
-        """Enqueue one request; auto-flushes when the batch is full."""
+        """Enqueue one request; auto-flushes when the batch is full.
+
+        With ``max_delay`` configured, a submit that finds the oldest queued
+        request past its deadline also flushes — so a timed-out partial
+        batch is served together with the request that discovered it.
+        """
         request = PendingRequest(user, k)
+        if not self._queue:
+            self._oldest_enqueued = self._clock()
         self._queue.append(request)
-        if len(self._queue) >= self.max_batch_size:
+        if len(self._queue) >= self.max_batch_size or self._deadline_passed():
             self.flush()
         return request
+
+    def poll(self) -> List[Recommendation]:
+        """Flush iff the oldest queued request has exceeded ``max_delay``.
+
+        Call periodically from a serving loop; returns the flushed
+        recommendations (empty when nothing was due).
+        """
+        if self._deadline_passed():
+            return self.flush()
+        return []
 
     def flush(self) -> List[Recommendation]:
         """Serve every queued request in one batched call."""
         if not self._queue:
             return []
         queue, self._queue = self._queue, []
+        self._oldest_enqueued = None
         # Requests with an explicit k are grouped per k so each group is still
         # a single vectorized call; the common case (default k) is one batch.
         by_k = {}

@@ -108,3 +108,66 @@ class TestContrastive:
             permutation = _derangement(count, np.random.default_rng(seed))
             assert not np.any(permutation == np.arange(count))
             assert sorted(permutation.tolist()) == list(range(count))
+
+
+class TestFusedTermParity:
+    """The fused single-node terms must match their composed-op originals."""
+
+    def _random_latent(self, seed, rows=7, dim=5):
+        rng = np.random.default_rng(seed)
+        mu = Tensor(rng.standard_normal((rows, dim)), requires_grad=True)
+        sigma = Tensor(rng.random((rows, dim)) + 0.1, requires_grad=True)
+        return mu, sigma
+
+    def test_fused_minimality_term_matches_composed_kl(self):
+        from repro.core.regularizers import fused_minimality_term
+
+        mu_a, sigma_a = self._random_latent(0)
+        mu_b, sigma_b = self._random_latent(0)
+        reference = minimality_term(mu_a, sigma_a)
+        fused = fused_minimality_term(mu_b, sigma_b)
+        np.testing.assert_array_equal(fused.data, reference.data)
+        reference.backward()
+        fused.backward()
+        np.testing.assert_array_equal(mu_b.grad, mu_a.grad)
+        np.testing.assert_array_equal(sigma_b.grad, sigma_a.grad)
+
+    def test_fused_reconstruction_group_matches_composed_terms(self):
+        from repro.core.regularizers import fused_reconstruction_group
+
+        rng = np.random.default_rng(1)
+        user_z_a = Tensor(rng.standard_normal((9, 4)), requires_grad=True)
+        item_z_a = Tensor(rng.standard_normal((11, 4)), requires_grad=True)
+        user_z_b = Tensor(user_z_a.data.copy(), requires_grad=True)
+        item_z_b = Tensor(item_z_a.data.copy(), requires_grad=True)
+        users = rng.integers(0, 9, 6)
+        pos = rng.integers(0, 11, 6)
+        neg = rng.integers(0, 11, 12)
+
+        reference = reconstruction_term(
+            user_z_a[users], item_z_a[pos], item_z_a[neg]
+        )
+        fused, diag = fused_reconstruction_group(
+            [("term", user_z_b, item_z_b, users, pos, neg)]
+        )
+        assert diag["term"] == pytest.approx(float(reference.data), rel=0, abs=1e-12)
+        np.testing.assert_allclose(fused.data, reference.data, rtol=0, atol=1e-12)
+        reference.backward()
+        fused.backward()
+        np.testing.assert_allclose(user_z_b.grad, user_z_a.grad, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(item_z_b.grad, item_z_a.grad, rtol=0, atol=1e-12)
+
+    def test_fused_reconstruction_group_validates_batches(self):
+        from repro.core.regularizers import fused_reconstruction_group
+
+        z = Tensor(np.zeros((4, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            fused_reconstruction_group(
+                [("bad", z, z, np.array([], dtype=np.int64),
+                  np.array([], dtype=np.int64), np.array([], dtype=np.int64))]
+            )
+        with pytest.raises(ValueError):
+            fused_reconstruction_group(
+                [("ragged", z, z, np.array([0, 1]), np.array([1, 2]),
+                  np.array([0, 1, 2]))]
+            )

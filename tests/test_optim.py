@@ -96,6 +96,88 @@ class TestAdam:
         assert parameter.data[0] == pytest.approx(0.9, abs=1e-6)
 
 
+def _make_params(seed, shapes=((4, 3), (5,), (2, 2, 2))):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.standard_normal(shape)) for shape in shapes]
+
+
+def _set_grads(params, seed, skip=()):
+    rng = np.random.default_rng(seed)
+    for index, param in enumerate(params):
+        param.grad = None if index in skip else rng.standard_normal(param.data.shape)
+
+
+class TestFusedAdam:
+    def test_trajectory_matches_reference_adam(self):
+        """Fused flat-buffer updates are bitwise the per-parameter loop."""
+        ref_params = _make_params(0)
+        fused_params = _make_params(0)
+        reference = Adam(ref_params, lr=0.05, weight_decay=1e-3)
+        fused = Adam(fused_params, lr=0.05, weight_decay=1e-3, fused=True)
+        for step in range(25):
+            _set_grads(ref_params, step + 100)
+            _set_grads(fused_params, step + 100)
+            reference.step()
+            fused.step()
+            for ref, fus in zip(ref_params, fused_params):
+                np.testing.assert_array_equal(ref.data, fus.data)
+
+    def test_in_step_clipping_matches_clip_then_step(self):
+        ref_params = _make_params(1)
+        fused_params = _make_params(1)
+        reference = Adam(ref_params, lr=0.1)
+        fused = Adam(fused_params, lr=0.1, fused=True)
+        for step in range(10):
+            _set_grads(ref_params, step, skip=())
+            _set_grads(fused_params, step, skip=())
+            # Make the norm large enough that clipping actually triggers.
+            for param in (*ref_params, *fused_params):
+                param.grad = param.grad * 50.0
+            clip_grad_norm(ref_params, max_norm=1.5)
+            reference.step()
+            fused.step(max_grad_norm=1.5)
+            for ref, fus in zip(ref_params, fused_params):
+                np.testing.assert_allclose(ref.data, fus.data, rtol=0, atol=1e-12)
+
+    def test_missing_gradients_fall_back_to_reference_semantics(self):
+        """Params without grads skip their moment update but share the global
+        step count — in both modes, including alternating patterns."""
+        ref_params = _make_params(2)
+        fused_params = _make_params(2)
+        reference = Adam(ref_params, lr=0.02)
+        fused = Adam(fused_params, lr=0.02, fused=True)
+        patterns = [(1,), (), (0, 2), (), (1,)]
+        for step, skip in enumerate(patterns):
+            _set_grads(ref_params, step + 7, skip=skip)
+            _set_grads(fused_params, step + 7, skip=skip)
+            reference.step()
+            fused.step()
+            for ref, fus in zip(ref_params, fused_params):
+                np.testing.assert_array_equal(ref.data, fus.data)
+
+    def test_external_rebind_is_adopted(self):
+        """load_state_dict-style rebinds of param.data must not be lost."""
+        params = _make_params(3)
+        fused = Adam(params, lr=0.05, fused=True)
+        _set_grads(params, 0)
+        fused.step()
+        replacement = np.zeros_like(params[0].data)
+        params[0].data = replacement.copy()  # external rebind
+        _set_grads(params, 1)
+        fused.step()
+        # The update ran against the replaced values, not the stale buffer.
+        assert not np.allclose(params[0].data, replacement)
+        assert np.all(np.abs(params[0].data - replacement) < 1.0)
+
+    def test_fused_updates_are_views_of_one_buffer(self):
+        params = _make_params(4)
+        fused = Adam(params, lr=0.05, fused=True)
+        _set_grads(params, 0)
+        fused.step()
+        bases = {id(param.data.base) for param in params}
+        assert len(bases) == 1
+
+
 class TestClipAndSchedules:
     def test_clip_grad_norm_rescales(self):
         a = Parameter(np.zeros(3))

@@ -363,3 +363,111 @@ class TestRequestBatcher:
     def test_bad_batch_size(self, server):
         with pytest.raises(ValueError):
             RequestBatcher(server, max_batch_size=0)
+
+
+class _FakeClock:
+    """Deterministic monotonic clock for timeout tests (no sleeping)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRequestBatcherFlushEdgeCases:
+    """Flush paths left untested by the initial serving PR."""
+
+    def test_empty_flush_is_noop(self, server):
+        batcher = RequestBatcher(server, max_batch_size=4)
+        assert batcher.flush() == []
+        assert batcher.batches_flushed == 0
+        assert len(batcher) == 0
+
+    def test_poll_without_deadline_never_flushes(self, server):
+        batcher = RequestBatcher(server, max_batch_size=8)
+        batcher.submit(0)
+        assert batcher.poll() == []
+        assert len(batcher) == 1
+
+    def test_timeout_flushes_partial_batch_on_submit(self, server):
+        clock = _FakeClock()
+        batcher = RequestBatcher(server, max_batch_size=100, max_delay=0.5,
+                                 clock=clock)
+        first = batcher.submit(0)
+        clock.advance(0.6)  # oldest request is now past its deadline
+        second = batcher.submit(1)
+        assert first.done and second.done
+        assert batcher.batches_flushed == 1
+        assert len(batcher) == 0
+
+    def test_timeout_flushes_partial_batch_on_poll(self, server):
+        clock = _FakeClock()
+        batcher = RequestBatcher(server, max_batch_size=100, max_delay=1.0,
+                                 clock=clock)
+        ticket = batcher.submit(3)
+        clock.advance(0.5)
+        assert batcher.poll() == []            # not due yet
+        assert not ticket.done
+        clock.advance(0.5)
+        results = batcher.poll()               # exactly at the deadline
+        assert len(results) == 1 and ticket.done
+
+    def test_timeout_clock_resets_after_flush(self, server):
+        clock = _FakeClock()
+        batcher = RequestBatcher(server, max_batch_size=100, max_delay=1.0,
+                                 clock=clock)
+        batcher.submit(0)
+        clock.advance(2.0)
+        batcher.poll()
+        # A fresh request must get a fresh deadline, not the stale stamp.
+        ticket = batcher.submit(1)
+        assert batcher.poll() == []
+        assert not ticket.done
+        clock.advance(1.0)
+        assert len(batcher.poll()) == 1
+
+    def test_requests_arriving_during_flush_join_next_batch(self, server):
+        """A submit issued while a flush is serving must not be lost, must
+
+        not be fulfilled by the in-flight batch, and must be served by the
+        following flush."""
+        batcher = RequestBatcher(server, max_batch_size=100)
+        late_tickets = []
+        original_recommend = server.recommend
+
+        def recommending_submits(users, k=None):
+            if not late_tickets:  # only on the first (outer) flush
+                late_tickets.append(batcher.submit(5))
+            return original_recommend(users, k=k)
+
+        batcher.submit(0)
+        batcher.submit(1)
+        server.recommend = recommending_submits
+        try:
+            results = batcher.flush()
+        finally:
+            server.recommend = original_recommend
+        assert len(results) == 2
+        late = late_tickets[0]
+        assert not late.done            # not swept into the in-flight batch
+        assert len(batcher) == 1        # queued for the next flush
+        batcher.flush()
+        assert late.done
+        assert np.array_equal(late.result().items,
+                              server.recommend([5])[0].items)
+
+    def test_negative_max_delay_rejected(self, server):
+        with pytest.raises(ValueError):
+            RequestBatcher(server, max_delay=-0.1)
+
+    def test_zero_max_delay_flushes_every_submit(self, server):
+        clock = _FakeClock()
+        batcher = RequestBatcher(server, max_batch_size=100, max_delay=0.0,
+                                 clock=clock)
+        ticket = batcher.submit(2)
+        assert ticket.done
+        assert batcher.batches_flushed == 1
