@@ -12,11 +12,13 @@ Public entry points:
 * :mod:`repro.experiments` — one runner per paper table / figure.
 * :mod:`repro.serve` — batched cold-start serving (item index, LRU cache,
   request batching).
+* :mod:`repro.io` — versioned checkpoints (npz payload + JSON manifest) for
+  the train→publish→serve pipeline.
 """
 
-from . import autograd, baselines, core, data, eval, experiments, graph, nn, optim, serve
+from . import autograd, baselines, core, data, eval, experiments, graph, io, nn, optim, serve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "autograd",
@@ -29,5 +31,6 @@ __all__ = [
     "eval",
     "experiments",
     "serve",
+    "io",
     "__version__",
 ]

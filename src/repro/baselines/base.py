@@ -26,6 +26,7 @@ from ..data.sampling import NegativeSampler
 from ..data.scenario import CDRScenario, MergedView, build_merged_view
 from ..eval.protocol import Scorer
 from ..graph import BipartiteGraph
+from ..nn import Module
 
 
 @dataclass
@@ -62,6 +63,74 @@ class BaselineRecommender:
 
     def scorer(self, source: str, target: str) -> Scorer:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Persistence (shared Module path, repro.io)
+    # ------------------------------------------------------------------ #
+    def _state_modules(self) -> Dict[str, Module]:
+        """Directly attached :class:`~repro.nn.Module` components, by name.
+
+        The generic save/load path covers every learnable tensor reachable
+        as a direct ``Module`` attribute of the recommender (sorted by
+        attribute name, so the layout is deterministic).  Baselines that hide
+        modules inside helper objects override this to expose them.
+        """
+        modules: Dict[str, Module] = {}
+        for attr in sorted(vars(self)):
+            value = getattr(self, attr)
+            if isinstance(value, Module):
+                modules[attr] = value
+        return modules
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Every component module's parameters under ``<attr>.<param>`` keys."""
+        state: Dict[str, np.ndarray] = {}
+        for attr, module in self._state_modules().items():
+            for key, value in module.state_dict().items():
+                state[f"{attr}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Restore parameters produced by :meth:`state_dict`.
+
+        The recommender must already be structured like the one that saved
+        (same config, fitted on the same scenario) — persistence restores
+        learned values, not architecture.
+        """
+        modules = self._state_modules()
+        if not modules:
+            raise ValueError(
+                f"{type(self).__name__} exposes no modules to load into; "
+                f"fit() it on the matching scenario first"
+            )
+        consumed = set()
+        for attr, module in modules.items():
+            prefix = attr + "."
+            part = {key[len(prefix):]: value for key, value in state.items()
+                    if key.startswith(prefix)}
+            consumed.update(prefix + key for key in part)
+            module.load_state_dict(part, strict=strict)
+        unexpected = set(state) - consumed
+        if strict and unexpected:
+            raise KeyError(f"unexpected baseline state entries: {sorted(unexpected)}")
+
+    def save(self, path: str) -> str:
+        """Persist the fitted state as a checkpoint directory (``repro.io``)."""
+        from ..io import save_checkpoint
+
+        arrays = {f"model/{key}": value.copy()
+                  for key, value in self.state_dict().items()}
+        return save_checkpoint(path, arrays, manifest={
+            "model": {"class": type(self).__name__, "name": self.name},
+        }, kind="baseline")
+
+    def load(self, path: str) -> "BaselineRecommender":
+        """Load a checkpoint written by :meth:`save` (checksum-verified)."""
+        from ..io import load_checkpoint
+
+        checkpoint = load_checkpoint(path, expect_kind="baseline")
+        self.load_state_dict(checkpoint.namespace("model"))
+        return self
 
 
 class EdgeSampler:

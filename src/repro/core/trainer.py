@@ -16,7 +16,10 @@ validation MRR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import os
+
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -24,6 +27,7 @@ import numpy as np
 from ..data.sampling import NegativeSampler
 from ..data.scenario import CDRScenario
 from ..eval import LeaveOneOutEvaluator
+from ..io import CheckpointError, load_checkpoint, save_checkpoint
 from ..optim import Adam, clip_grad_norm
 from .cdrib import CDRIB, CDRIBConfig
 
@@ -129,6 +133,20 @@ class CDRIBTrainer:
                               fused=engine != "reference")
         self._pools = self._build_pools()
         self._pending_batches: List[Dict[str, np.ndarray]] = []
+        # Batch-RNG snapshot taken right before the current epoch was
+        # presampled, plus how many of its steps were consumed — together
+        # they make mid-epoch checkpoints exact (see save_checkpoint).
+        self._batch_rng_snapshot: Optional[Dict[str, dict]] = None
+        self._steps_into_epoch = 0
+        self._global_step = 0
+        self._epochs_done = 0
+        # False once fit() rolls the model back to its best-validation state:
+        # from then on the model no longer matches the optimizer moments and
+        # RNG streams, so checkpoints become publish-only (serve, not resume).
+        self._trajectory_intact = True
+        # Optional provenance recorded into checkpoint manifests (scenario /
+        # profile names), set by the experiment runners.
+        self.provenance: Optional[Dict[str, str]] = None
 
     # ------------------------------------------------------------------ #
     # Data preparation
@@ -258,7 +276,10 @@ class CDRIBTrainer:
         if self.engine == "reference":
             return self._build_batches()
         if not self._pending_batches:
+            self._batch_rng_snapshot = self._batch_rng_states()
             self._pending_batches = self._presample_epoch(self.steps_per_epoch())
+            self._steps_into_epoch = 0
+        self._steps_into_epoch += 1
         return self._pending_batches.pop(0)
 
     def _apply_step(self, batches: Dict[str, np.ndarray]) -> Dict[str, float]:
@@ -275,6 +296,7 @@ class CDRIBTrainer:
             )
             loss.backward()
             self.optimizer.step(max_grad_norm=self.max_grad_norm)
+        self._global_step += 1
         return diagnostics
 
     def train_epoch(self) -> Tuple[float, Dict[str, float]]:
@@ -289,6 +311,7 @@ class CDRIBTrainer:
                 term_sums[key] = term_sums.get(key, 0.0) + value
         steps = max(1, len(losses))
         term_means = {key: value / steps for key, value in term_sums.items()}
+        self._epochs_done += 1
         return float(np.mean(losses)), term_means
 
     def run_steps(self, num_steps: int) -> List[float]:
@@ -307,17 +330,30 @@ class CDRIBTrainer:
         return losses
 
     def fit(self, epochs: Optional[int] = None, eval_every: int = 0,
-            verbose: bool = False) -> TrainResult:
+            verbose: bool = False, checkpoint_dir: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume_from: Optional[str] = None) -> TrainResult:
         """Train for ``epochs`` epochs (defaults to the config value).
 
         When ``eval_every`` > 0 and an evaluator is attached, validation MRR
         is computed every ``eval_every`` epochs and the best-scoring model
         state is restored at the end (paper-style model selection).
+
+        ``resume_from`` restores a checkpoint (model, optimizer, every RNG
+        stream) before training, making the run a *bit-exact* continuation
+        of the saved one; epoch numbering continues from the checkpoint.
+        With ``checkpoint_dir`` set, the trainer saves ``<dir>/last`` every
+        ``checkpoint_every`` epochs and ``<dir>/best`` whenever validation
+        MRR improves, so a crash loses at most ``checkpoint_every`` epochs
+        and the best model survives the end-of-fit state restore.
         """
+        if resume_from is not None:
+            self.restore_checkpoint(resume_from)
         epochs = epochs if epochs is not None else self.config.epochs
         result = TrainResult()
         best_state = None
-        for epoch in range(1, epochs + 1):
+        start = self._epochs_done
+        for epoch in range(start + 1, start + epochs + 1):
             loss, term_means = self.train_epoch()
             log = EpochLog(epoch=epoch, loss=loss, term_means=term_means)
             if eval_every and self.evaluator is not None and epoch % eval_every == 0:
@@ -327,15 +363,200 @@ class CDRIBTrainer:
                     result.best_validation_mrr = log.validation_mrr
                     result.best_epoch = epoch
                     best_state = self.model.state_dict()
+                    if checkpoint_dir is not None:
+                        self.save_checkpoint(os.path.join(checkpoint_dir, "best"),
+                                             metrics=self._fit_metrics(log, result))
             result.history.append(log)
+            if checkpoint_dir is not None and (epoch - start) % max(1, checkpoint_every) == 0:
+                self.save_checkpoint(os.path.join(checkpoint_dir, "last"),
+                                     metrics=self._fit_metrics(log, result))
             if verbose:
                 extra = (f", val MRR {log.validation_mrr:.4f}"
                          if log.validation_mrr is not None else "")
                 print(f"[CDRIB] epoch {epoch:3d} loss {loss:.4f}{extra}")
         if best_state is not None:
             self.model.load_state_dict(best_state)
+            self._trajectory_intact = False
         self.model.refresh_eval_cache()
         return result
+
+    @staticmethod
+    def _fit_metrics(log: EpochLog, result: TrainResult) -> Dict[str, object]:
+        return {
+            "epoch": log.epoch,
+            "loss": log.loss,
+            "validation_mrr": log.validation_mrr,
+            "best_validation_mrr": result.best_validation_mrr,
+            "best_epoch": result.best_epoch,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.io)
+    # ------------------------------------------------------------------ #
+    CHECKPOINT_KIND = "cdrib-trainer"
+
+    def _batch_rng_states(self) -> Dict[str, dict]:
+        """Current states of the three batch-drawing generators.
+
+        ``sampler_x`` is shared by the ``in_x`` / ``cross_y_to_x`` pools and
+        ``sampler_y`` by the other two, so these three streams (plus the
+        model's own generator) fully determine every future batch.
+        """
+        return {
+            "trainer": copy.deepcopy(self._rng.bit_generator.state),
+            "sampler_x": self._pools["in_x"].sampler.get_state(),
+            "sampler_y": self._pools["in_y"].sampler.get_state(),
+        }
+
+    def _restore_batch_rng_states(self, states: Dict[str, dict]) -> None:
+        self._rng.bit_generator.state = copy.deepcopy(states["trainer"])
+        self._pools["in_x"].sampler.set_state(states["sampler_x"])
+        self._pools["in_y"].sampler.set_state(states["sampler_y"])
+
+    def _domain_manifest(self) -> Dict[str, Dict[str, object]]:
+        out = {}
+        for slot, domain in (("x", self.scenario.domain_x),
+                             ("y", self.scenario.domain_y)):
+            out[slot] = {"name": domain.name,
+                         "num_users": int(domain.num_users),
+                         "num_items": int(domain.num_items)}
+        return out
+
+    def save_checkpoint(self, path: str,
+                        metrics: Optional[Dict[str, object]] = None,
+                        provenance: Optional[Dict[str, str]] = None) -> str:
+        """Write a resumable checkpoint directory (payload.npz + manifest).
+
+        The payload holds the model parameters, the Adam moments and step
+        count, the trainer's step/epoch counters and the bit-generator
+        states of every RNG stream involved in training (model noise /
+        dropout, trainer picks, both negative samplers).  The fast engines
+        presample whole epochs, so a *mid-epoch* save records the batch-RNG
+        states as of the epoch's start plus the number of steps already
+        consumed; :meth:`restore_checkpoint` replays those steps, leaving
+        every stream exactly where an uninterrupted run would have it.
+        Resume is therefore bit-exact for all engines, at any step.
+        """
+        params = list(self.model.named_parameters())
+        arrays: Dict[str, np.ndarray] = {
+            f"model/{name}": param.data.copy() for name, param in params
+        }
+        optim_state = self.optimizer.state_dict()
+        arrays["optim/step"] = np.int64(optim_state["step_count"])
+        for (name, _), m, v in zip(params, optim_state["m"], optim_state["v"]):
+            arrays[f"optim/m/{name}"] = m
+            arrays[f"optim/v/{name}"] = v
+
+        if self._pending_batches:
+            batch_states = self._batch_rng_snapshot
+            consumed = self._steps_into_epoch
+        else:
+            batch_states = self._batch_rng_states()
+            consumed = 0
+        arrays["trainer/global_step"] = np.int64(self._global_step)
+        arrays["trainer/epochs_done"] = np.int64(self._epochs_done)
+        arrays["trainer/steps_into_epoch"] = np.int64(consumed)
+
+        rng_states = dict(batch_states)
+        rng_states["model"] = copy.deepcopy(self.model._rng.bit_generator.state)
+
+        manifest: Dict[str, object] = {
+            "model": {"class": type(self.model).__name__,
+                      "config": asdict(self.config)},
+            "domains": self._domain_manifest(),
+            "engine": self.engine,
+            "metrics": metrics or {},
+            # After fit()'s best-model rollback the saved parameters no
+            # longer match the optimizer/RNG trajectory: such artifacts
+            # still serve, but restore_checkpoint refuses to resume them.
+            "resumable": self._trajectory_intact,
+        }
+        provenance = provenance if provenance is not None else self.provenance
+        if provenance:
+            manifest["provenance"] = dict(provenance)
+        return save_checkpoint(path, arrays, manifest=manifest,
+                               rng_states=rng_states, kind=self.CHECKPOINT_KIND)
+
+    def restore_checkpoint(self, path: str) -> "CDRIBTrainer":
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        The trainer must already be built on the *same scenario and config*
+        (domain shapes are validated against the manifest; parameter shapes
+        against the payload).  Any engine can restore any checkpoint: the
+        engines draw identical batch streams, so the replay of a mid-epoch
+        save positions the generators correctly on every path.
+        """
+        checkpoint = load_checkpoint(path, expect_kind=self.CHECKPOINT_KIND)
+        if not checkpoint.manifest.get("resumable", True):
+            raise CheckpointError(
+                f"checkpoint {path!r} is publish-only: it was saved after a "
+                f"best-model rollback, so its parameters do not match its "
+                f"optimizer/RNG trajectory.  Serve it, or resume from a "
+                f"'last' checkpoint written during fit()"
+            )
+        recorded = checkpoint.manifest.get("domains", {})
+        current = self._domain_manifest()
+        if recorded != current:
+            raise CheckpointError(
+                f"checkpoint {path!r} was trained on domains {recorded}, "
+                f"this trainer's scenario has {current}"
+            )
+        recorded_config = checkpoint.manifest.get("model", {}).get("config")
+        if recorded_config is not None:
+            current_config = asdict(self.config)
+            if recorded_config != current_config:
+                differing = sorted(
+                    key for key in set(recorded_config) | set(current_config)
+                    if recorded_config.get(key) != current_config.get(key)
+                )
+                raise CheckpointError(
+                    f"checkpoint {path!r} was trained with a different config "
+                    f"(fields {differing}); bit-exact resume requires the "
+                    f"identical configuration (train longer via fit(epochs=...))"
+                )
+
+        self.model.load_state_dict(checkpoint.namespace("model"))
+        params = list(self.model.named_parameters())
+        moments_m = checkpoint.namespace("optim/m")
+        moments_v = checkpoint.namespace("optim/v")
+        missing = [name for name, _ in params
+                   if name not in moments_m or name not in moments_v]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {path!r} lacks optimizer moments for {missing}"
+            )
+        self.optimizer.load_state_dict({
+            "num_parameters": len(params),
+            "step_count": checkpoint.scalar("optim/step"),
+            "m": [moments_m[name] for name, _ in params],
+            "v": [moments_v[name] for name, _ in params],
+        })
+
+        states = checkpoint.rng_states
+        self.model._rng.bit_generator.state = copy.deepcopy(states["model"])
+        self._restore_batch_rng_states(states)
+        self.model.refresh_eval_cache()
+
+        self._pending_batches = []
+        self._batch_rng_snapshot = None
+        self._steps_into_epoch = 0
+        self._global_step = checkpoint.scalar("trainer/global_step", 0)
+        self._epochs_done = checkpoint.scalar("trainer/epochs_done", 0)
+        consumed = checkpoint.scalar("trainer/steps_into_epoch", 0)
+        if consumed >= self.steps_per_epoch() and consumed > 0:
+            raise CheckpointError(
+                f"checkpoint {path!r} consumed {consumed} steps of a "
+                f"{self.steps_per_epoch()}-step epoch; scenario mismatch?"
+            )
+        # Fast-forward the already-consumed prefix of the saved epoch through
+        # this engine's own batch path: the fast engines re-presample from the
+        # restored pre-epoch states and drop the prefix, the reference engine
+        # replays the lazy per-step draws.  Either way every generator ends up
+        # exactly where the uninterrupted run left it.
+        for _ in range(consumed):
+            self._next_batch()
+        self._trajectory_intact = True  # full state restored -> consistent again
+        return self
 
     # ------------------------------------------------------------------ #
     # Validation

@@ -15,6 +15,8 @@ training trajectories) on both paths.
 
 from __future__ import annotations
 
+import copy
+
 from typing import Dict, Iterator, Optional, Set, Tuple
 
 import numpy as np
@@ -87,6 +89,20 @@ class NegativeSampler:
         else:
             self._member_matrix = None
             self._nonmember_matrix = None
+
+    def get_state(self) -> dict:
+        """Snapshot of the PCG64 bit-generator state (JSON-serialisable).
+
+        Together with :meth:`set_state` this is what makes training resume
+        *exact*: the block fast path is stream-exact w.r.t. the per-user
+        loop, so restoring the generator state reproduces every future draw
+        bit-for-bit on either path.
+        """
+        return copy.deepcopy(self._rng.bit_generator.state)
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`get_state`."""
+        self._rng.bit_generator.state = copy.deepcopy(state)
 
     def sample_for_user(self, user: int, count: int,
                         exclude: Optional[Set[int]] = None) -> np.ndarray:

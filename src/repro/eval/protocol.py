@@ -179,12 +179,26 @@ class LeaveOneOutEvaluator:
     @staticmethod
     def _sample_negatives(rng: np.random.Generator, num_items: int, banned: set,
                           count: int) -> np.ndarray:
+        """Draw ``count`` candidate negatives, always consuming the stream.
+
+        The exhausted-pool branch (``count >= available``) consumes one
+        permutation of the complement instead of returning it untouched, so
+        the generator advances for *every* record: later records' draws no
+        longer depend on whether an earlier record's candidate pool happened
+        to be exhausted, and the complement comes back in unbiased draw
+        order rather than ascending index order (the rejection path's
+        convention).  Note this is a deliberate stream change: small-catalog
+        metrics shift relative to releases that skipped the RNG here.
+        """
         available = num_items - len(banned)
         if available <= 0:
             raise ValueError("no negative candidates available for evaluation")
         if count >= available:
-            return np.setdiff1d(np.arange(num_items),
-                                np.fromiter(banned, dtype=np.int64, count=len(banned)))
+            complement = np.setdiff1d(
+                np.arange(num_items),
+                np.fromiter(banned, dtype=np.int64, count=len(banned)),
+            )
+            return rng.permutation(complement)
         negatives: List[int] = []
         seen = set(banned)
         while len(negatives) < count:

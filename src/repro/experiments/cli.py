@@ -7,11 +7,16 @@ Usage (after installation)::
     python -m repro.experiments.cli table7 --scenario phone_elec --output results/ablation.csv
     python -m repro.experiments.cli figure5 --scenario game_video --profile smoke
     python -m repro.experiments.cli serve --profile smoke --batch-sizes 1,64
+    python -m repro.experiments.cli train --profile smoke --save runs/ckpt
+    python -m repro.experiments.cli serve --checkpoint runs/ckpt --top-k 10
 
 Each sub-command maps to one paper artefact (plus the ``serve`` throughput
-demo for the :mod:`repro.serve` subsystem), runs the corresponding
-experiment runner, prints the resulting table and optionally writes it to
-CSV or JSON (decided by the ``--output`` extension).
+demo for the :mod:`repro.serve` subsystem and the checkpointed ``train``
+pipeline of :mod:`repro.io`), runs the corresponding experiment runner,
+prints the resulting table and optionally writes it to CSV or JSON (decided
+by the ``--output`` extension).  When ``--output`` is given, a companion
+``<output>.manifest.json`` records what produced the file (experiment,
+scenario, profile, row count, content checksum).
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import runners
 from .config import PROFILES, get_profile
-from .reporting import save_rows_csv, save_rows_json
+from .reporting import save_rows_csv, save_rows_json, save_run_manifest
 
 EXPERIMENTS: Dict[str, str] = {
     "table2": "Table II — dataset statistics of every scenario",
@@ -32,7 +37,10 @@ EXPERIMENTS: Dict[str, str] = {
     "table9": "Table IX — cold-start interaction-count groups",
     "figure5": "Figure 5 — Lagrangian multiplier sweep",
     "figure6": "Figure 6 — VBGE layer-count sweep",
-    "serve": "Serving demo — batched cold-start throughput (repro.serve)",
+    "serve": "Serving demo — batched cold-start throughput (repro.serve), "
+             "or top-K lists from a saved artifact with --checkpoint",
+    "train": "Train CDRIB with durable checkpoints (--save) and bit-exact "
+             "resume (--resume)",
 }
 
 
@@ -56,15 +64,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated request batch sizes (serve only)")
     parser.add_argument("--top-k", type=int, default=10,
                         help="recommendation list length (serve only)")
+    parser.add_argument("--save", default=None, metavar="DIR",
+                        help="write a final checkpoint to this directory (train only)")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume bit-exactly from this checkpoint (train only)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="save last/best checkpoints here during training (train only)")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the profile's epoch budget (train only)")
+    parser.add_argument("--engine", default="fused",
+                        choices=("fused", "subgraph", "reference"),
+                        help="training engine (train only)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="serve from this saved checkpoint instead of training "
+                             "(serve only)")
+    parser.add_argument("--num-users", type=int, default=8,
+                        help="users to serve with --checkpoint (serve only)")
     return parser
 
 
 def run_experiment(name: str, scenario: str, profile_name: Optional[str],
                    include_savae: bool = True,
                    batch_sizes: Optional[List[int]] = None,
-                   top_k: int = 10) -> List[dict]:
+                   top_k: int = 10,
+                   save_path: Optional[str] = None,
+                   resume_path: Optional[str] = None,
+                   checkpoint_dir: Optional[str] = None,
+                   epochs: Optional[int] = None,
+                   engine: str = "fused",
+                   checkpoint: Optional[str] = None,
+                   num_users: int = 8) -> List[dict]:
     """Dispatch one experiment by CLI name and return its result rows."""
+    if name == "serve" and checkpoint is not None:
+        # Artifact serving needs no profile: the checkpoint manifest's
+        # provenance decides how the scenario is re-assembled.
+        return runners.run_checkpoint_serving(checkpoint, top_k=top_k,
+                                              num_users=num_users)
     profile = get_profile(profile_name)
+    if name == "train":
+        return runners.run_training_job(
+            scenario, profile=profile, epochs=epochs, engine=engine,
+            save_path=save_path, resume_path=resume_path,
+            checkpoint_dir=checkpoint_dir,
+        )
     if name == "serve":
         return runners.run_serving_benchmark(
             scenario, batch_sizes=tuple(batch_sizes or (1, 32, 256)),
@@ -112,13 +154,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--batch-sizes must all be >= 1, got {args.batch_sizes!r}")
     if args.top_k < 1:
         parser.error(f"--top-k must be >= 1, got {args.top_k}")
+    if args.epochs is not None and args.epochs < 1:
+        parser.error(f"--epochs must be >= 1, got {args.epochs}")
+    if args.num_users < 1:
+        parser.error(f"--num-users must be >= 1, got {args.num_users}")
     rows = run_experiment(args.experiment, args.scenario, args.profile,
                           include_savae=not args.no_savae,
-                          batch_sizes=batch_sizes, top_k=args.top_k)
+                          batch_sizes=batch_sizes, top_k=args.top_k,
+                          save_path=args.save, resume_path=args.resume,
+                          checkpoint_dir=args.checkpoint_dir,
+                          epochs=args.epochs, engine=args.engine,
+                          checkpoint=args.checkpoint, num_users=args.num_users)
     print(runners.format_rows(rows))
+    if args.save:
+        print(f"\nsaved checkpoint to {args.save}")
     if args.output:
         written = save_rows(rows, args.output)
-        print(f"\nwrote {len(rows)} rows to {written}")
+        manifest = save_run_manifest(written, {
+            "experiment": args.experiment,
+            "scenario": args.scenario,
+            # Resolve the profile the run actually used (REPRO_BENCH_PROFILE
+            # or the 'fast' default when --profile was omitted) so archived
+            # rows stay attributable; with --checkpoint the scenario/profile
+            # of record come from the artifact's own manifest instead.
+            "profile": get_profile(args.profile).name,
+            "rows": len(rows),
+            "checkpoint": args.checkpoint or args.save,
+        })
+        print(f"\nwrote {len(rows)} rows to {written} (manifest: {manifest})")
     return 0
 
 

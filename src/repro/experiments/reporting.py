@@ -8,6 +8,7 @@ retraining, and load them back for comparison.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import os
 from typing import Dict, List, Optional, Sequence
@@ -66,6 +67,37 @@ def load_rows_csv(path: str) -> List[ROW]:
         for raw in csv.DictReader(handle):
             rows.append({key: _parse_value(value) for key, value in raw.items()})
     return rows
+
+
+def run_manifest_path(output_path: str) -> str:
+    """The manifest path paired with a result file: ``<base>.manifest.json``."""
+    base, _ = os.path.splitext(output_path)
+    return base + ".manifest.json"
+
+
+def save_run_manifest(output_path: str, manifest: Dict[str, object]) -> str:
+    """Write a provenance manifest next to a result file; returns its path.
+
+    The manifest records what produced the rows (experiment, scenario,
+    profile, any checkpoint involved) plus the result file's SHA-256, the
+    same integrity scheme as :mod:`repro.io` checkpoints — archived tables
+    stay attributable and tamper-evident without retraining anything.
+    """
+    digest = hashlib.sha256()
+    with open(output_path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    payload: Dict[str, object] = {"format_version": 1}
+    payload.update(manifest)
+    payload["output"] = {
+        "file": os.path.basename(output_path),
+        "sha256": digest.hexdigest(),
+    }
+    path = run_manifest_path(output_path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        handle.write("\n")
+    return path
 
 
 def summarize_by(rows: List[ROW], group_key: str, value_key: str = "MRR") -> Dict[object, float]:

@@ -20,6 +20,7 @@ Serving throughput (extra)   :func:`run_serving_benchmark`
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -76,6 +77,139 @@ def train_cdrib(scenario: CDRScenario, config: CDRIBConfig,
     trainer = CDRIBTrainer(model, evaluator=evaluator)
     trainer.fit()
     return trainer
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointed training and serving (repro.io)
+# --------------------------------------------------------------------------- #
+def run_training_job(scenario_name: str,
+                     profile: Optional[ExperimentProfile] = None,
+                     epochs: Optional[int] = None,
+                     engine: str = "fused",
+                     save_path: Optional[str] = None,
+                     resume_path: Optional[str] = None,
+                     checkpoint_dir: Optional[str] = None,
+                     eval_every: int = 0) -> List[ROW]:
+    """Train CDRIB with optional checkpoint save / bit-exact resume.
+
+    Backs the ``train`` CLI sub-command: builds the scenario at profile
+    scale, optionally resumes from ``resume_path`` (model + optimizer +
+    every RNG stream, so the run continues the saved trajectory exactly),
+    trains for ``epochs`` (defaults to the profile's budget), and writes a
+    final checkpoint to ``save_path``.  The checkpoint manifest records the
+    scenario / profile provenance that ``serve --checkpoint`` later uses to
+    rebuild the serving graph without retraining.
+
+    Returns one row per epoch of the run's history.
+    """
+    profile = profile if profile is not None else get_profile()
+    scenario = build_paper_scenario(scenario_name, profile)
+    config = profile.cdrib
+    model = CDRIB(scenario, config)
+    evaluator = make_evaluator(scenario, profile) if eval_every else None
+    trainer = CDRIBTrainer(model, evaluator=evaluator, engine=engine)
+    trainer.provenance = {"scenario": scenario_name, "profile": profile.name}
+    result = trainer.fit(epochs=epochs, eval_every=eval_every,
+                         checkpoint_dir=checkpoint_dir, resume_from=resume_path)
+    if save_path is not None:
+        final = result.history[-1] if result.history else None
+        trainer.save_checkpoint(save_path, metrics={
+            "epoch": final.epoch if final else 0,
+            "loss": final.loss if final else None,
+            "best_validation_mrr": result.best_validation_mrr,
+            "best_epoch": result.best_epoch,
+        })
+    rows: List[ROW] = []
+    for log in result.history:
+        rows.append({
+            "scenario": scenario_name,
+            "engine": engine,
+            "epoch": log.epoch,
+            "loss": log.loss,
+            "validation_mrr": (log.validation_mrr
+                               if log.validation_mrr is not None else ""),
+            "checkpoint": save_path or "",
+        })
+    return rows
+
+
+def load_cdrib_checkpoint(path: str):
+    """Rebuild a trained :class:`CDRIB` from a checkpoint — no training.
+
+    The manifest's provenance names the scenario and profile, which are
+    deterministic at fixed seed, so the serving graph is re-assembled
+    identically to the training run's; the payload then restores every
+    parameter (checksum-verified).  Returns ``(model, checkpoint)``.
+    """
+    from ..io import CheckpointError, load_checkpoint
+
+    checkpoint = load_checkpoint(path, expect_kind=CDRIBTrainer.CHECKPOINT_KIND)
+    provenance = checkpoint.manifest.get("provenance") or {}
+    if "scenario" not in provenance or "profile" not in provenance:
+        raise CheckpointError(
+            f"checkpoint {path!r} has no scenario/profile provenance; "
+            f"it cannot be re-assembled by the CLI (save it through "
+            f"run_training_job or set trainer.provenance)"
+        )
+    profile = get_profile(provenance["profile"])
+    scenario = build_paper_scenario(provenance["scenario"], profile)
+    config = CDRIBConfig(**checkpoint.manifest["model"]["config"])
+    model = CDRIB(scenario, config)
+
+    recorded = checkpoint.manifest.get("domains", {})
+    current = {
+        "x": {"name": scenario.domain_x.name,
+              "num_users": scenario.domain_x.num_users,
+              "num_items": scenario.domain_x.num_items},
+        "y": {"name": scenario.domain_y.name,
+              "num_users": scenario.domain_y.num_users,
+              "num_items": scenario.domain_y.num_items},
+    }
+    if recorded != current:
+        raise CheckpointError(
+            f"checkpoint {path!r} was trained on domains {recorded}, "
+            f"the re-assembled scenario has {current}"
+        )
+    model.load_state_dict(checkpoint.namespace("model"))
+    if "model" in checkpoint.rng_states:
+        model._rng.bit_generator.state = copy.deepcopy(
+            checkpoint.rng_states["model"])
+    return model, checkpoint
+
+
+def run_checkpoint_serving(checkpoint_path: str, top_k: int = 10,
+                           users: Optional[Sequence[int]] = None,
+                           num_users: int = 8) -> List[ROW]:
+    """Serve top-K lists from a saved checkpoint (``serve --checkpoint``).
+
+    Builds a :class:`~repro.serve.ColdStartServer` for the X -> Y direction
+    from the artifact alone and serves a deterministic user set (the first
+    ``num_users`` test cold-start users unless ``users`` is given).  The
+    lists are bit-identical to a server built from the live trained model —
+    the whole point of the checkpoint subsystem.
+    """
+    from ..serve import ColdStartServer
+
+    model, checkpoint = load_cdrib_checkpoint(checkpoint_path)
+    scenario = model.scenario
+    split = scenario.x_to_y
+    server = ColdStartServer(model, split.source, split.target, top_k=top_k)
+    if users is None:
+        pool = [int(user.source_user) for user in split.test]
+        if not pool:
+            pool = list(range(min(num_users,
+                                  scenario.domain(split.source).num_users)))
+        users = sorted(set(pool))[:num_users]
+    rows: List[ROW] = []
+    for rec in server.recommend(list(users), k=top_k):
+        rows.append({
+            "checkpoint": checkpoint_path,
+            "direction": f"{split.source}->{split.target}",
+            "user": rec.user,
+            "items": [int(item) for item in rec.items],
+            "scores": [float(score) for score in rec.scores],
+        })
+    return rows
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,27 @@
+"""Durable model artifacts (``repro.io``).
+
+The train→publish→serve pipeline's persistence layer: a versioned on-disk
+checkpoint format (single ``.npz`` payload + JSON manifest with checksum)
+shared by the CDRIB trainer, the plain :class:`~repro.nn.Module` save path
+used by the baselines, and the serving CLI (``serve --checkpoint``).
+"""
+
+from .checkpoint import (
+    FORMAT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    load_module,
+    save_checkpoint,
+    save_module,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_module",
+    "load_module",
+]

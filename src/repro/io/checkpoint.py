@@ -1,0 +1,230 @@
+"""Versioned on-disk checkpoints: one ``.npz`` payload + a JSON manifest.
+
+A checkpoint is a *directory* holding exactly two files:
+
+* ``payload.npz`` — every array of the saved state, keyed by slash-separated
+  paths (``model/<param>``, ``optim/m/<param>``, ``trainer/global_step``, …),
+  plus a ``rng_json`` entry carrying the bit-generator states of every RNG
+  involved (PCG64 states contain 128-bit integers, so they travel as JSON
+  rather than as arrays).
+* ``manifest.json`` — human-readable metadata: the format version, what kind
+  of state the payload holds, the model configuration and domain shapes
+  needed to rebuild the network, a metric snapshot, provenance (scenario /
+  profile names for deterministic re-assembly), and the SHA-256 checksum of
+  the payload file.
+
+The loader refuses checkpoints whose format version it does not understand
+and checkpoints whose payload no longer matches the recorded checksum, so a
+truncated copy or a bit-rotted artifact fails loudly instead of producing a
+silently wrong model.  Everything higher level — trainer resume, serving
+from an artifact, baseline persistence — goes through :func:`save_checkpoint`
+/ :func:`load_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+FORMAT_VERSION = 1
+PAYLOAD_NAME = "payload.npz"
+MANIFEST_NAME = "manifest.json"
+_RNG_KEY = "rng_json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or from an incompatible format."""
+
+
+@dataclass
+class Checkpoint:
+    """An in-memory checkpoint: manifest metadata plus the payload arrays."""
+
+    path: str
+    manifest: Dict[str, object]
+    arrays: Dict[str, np.ndarray]
+    rng_states: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def format_version(self) -> int:
+        """The on-disk format version the checkpoint was written with."""
+        return int(self.manifest["format_version"])
+
+    @property
+    def kind(self) -> str:
+        """The state kind tag (``"cdrib-trainer"``, ``"module"``, ...)."""
+        return str(self.manifest.get("kind", ""))
+
+    def namespace(self, prefix: str) -> Dict[str, np.ndarray]:
+        """Arrays under ``prefix/`` with the prefix stripped."""
+        start = prefix.rstrip("/") + "/"
+        return {key[len(start):]: value for key, value in self.arrays.items()
+                if key.startswith(start)}
+
+    def scalar(self, key: str, default: Optional[int] = None) -> int:
+        """An integer scalar stored in the payload."""
+        if key not in self.arrays:
+            if default is not None:
+                return default
+            raise CheckpointError(f"checkpoint {self.path!r} has no entry {key!r}")
+        return int(self.arrays[key])
+
+
+def _sha256_of(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_checkpoint(path: str, arrays: Dict[str, np.ndarray],
+                    manifest: Optional[Dict[str, object]] = None,
+                    rng_states: Optional[Dict[str, dict]] = None,
+                    kind: str = "state") -> str:
+    """Write ``arrays`` (+ optional RNG states) as a checkpoint directory.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint directory; created (including parents) if missing and
+        overwritten in place if it already holds a checkpoint.
+    arrays:
+        Payload arrays keyed by slash-separated paths.  Scalars (step
+        counters) are stored as 0-d arrays.
+    manifest:
+        Extra manifest fields merged on top of the structural ones
+        (``format_version``, ``kind``, ``payload``).  Callers put the model
+        config, domain shapes, metrics and provenance here.
+    rng_states:
+        Bit-generator state dicts (``rng.bit_generator.state``) keyed by
+        stream name; serialised as JSON inside the payload.
+    kind:
+        Free-form state kind tag (``"cdrib-trainer"``, ``"module"``, …),
+        checked by loaders that only accept one kind.
+
+    Returns the checkpoint directory path.
+
+    Saving is crash-safe with respect to an existing checkpoint at ``path``:
+    both files are written into a staging directory first and swapped in
+    with directory renames, so a process dying mid-save leaves the previous
+    checkpoint loadable (never a half-truncated payload).  ``path`` is
+    treated as a dedicated checkpoint directory — any previous content is
+    replaced wholesale by the swap.
+    """
+    base = path.rstrip("/")
+    parent = os.path.dirname(os.path.abspath(base))
+    os.makedirs(parent, exist_ok=True)
+    staging = base + ".saving"
+    backup = base + ".old"
+    for leftover in (staging, backup):  # stale debris from an earlier crash
+        if os.path.isdir(leftover):
+            shutil.rmtree(leftover)
+    os.makedirs(staging)
+
+    payload_path = os.path.join(staging, PAYLOAD_NAME)
+    payload: Dict[str, np.ndarray] = {}
+    for key, value in arrays.items():
+        if key == _RNG_KEY:
+            raise ValueError(f"array key {key!r} is reserved")
+        payload[key] = np.asarray(value)
+    if rng_states:
+        payload[_RNG_KEY] = np.array(json.dumps(rng_states, sort_keys=True))
+    with open(payload_path, "wb") as handle:
+        np.savez(handle, **payload)
+
+    full_manifest: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "payload": {
+            "file": PAYLOAD_NAME,
+            "sha256": _sha256_of(payload_path),
+            "num_arrays": len(payload),
+        },
+    }
+    if manifest:
+        for key, value in manifest.items():
+            if key in ("format_version", "payload"):
+                raise ValueError(f"manifest key {key!r} is reserved")
+            full_manifest[key] = value
+    with open(os.path.join(staging, MANIFEST_NAME), "w") as handle:
+        json.dump(full_manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if os.path.isdir(base):
+        os.rename(base, backup)
+    os.rename(staging, base)
+    if os.path.isdir(backup):
+        shutil.rmtree(backup)
+    return path
+
+
+def load_checkpoint(path: str, expect_kind: Optional[str] = None) -> Checkpoint:
+    """Read and validate a checkpoint directory.
+
+    Raises :class:`CheckpointError` when the directory is not a checkpoint,
+    the format version is unknown, the payload checksum does not match the
+    manifest (corruption), or ``expect_kind`` is given and does not match.
+    """
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    payload_path = os.path.join(path, PAYLOAD_NAME)
+    if not os.path.isfile(manifest_path) or not os.path.isfile(payload_path):
+        raise CheckpointError(f"{path!r} is not a checkpoint directory "
+                              f"(expected {MANIFEST_NAME} + {PAYLOAD_NAME})")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"unreadable manifest in {path!r}: {error}") from error
+
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    recorded = manifest.get("payload", {}).get("sha256")
+    actual = _sha256_of(payload_path)
+    if recorded != actual:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its checksum "
+            f"(manifest {recorded!r} != payload {actual!r}); refusing to load"
+        )
+    if expect_kind is not None and manifest.get("kind") != expect_kind:
+        raise CheckpointError(
+            f"checkpoint {path!r} holds kind {manifest.get('kind')!r}, "
+            f"expected {expect_kind!r}"
+        )
+
+    with np.load(payload_path, allow_pickle=False) as data:
+        arrays = {key: data[key] for key in data.files if key != _RNG_KEY}
+        rng_states: Dict[str, dict] = {}
+        if _RNG_KEY in data.files:
+            rng_states = json.loads(str(data[_RNG_KEY]))
+    return Checkpoint(path=path, manifest=manifest, arrays=arrays,
+                      rng_states=rng_states)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level convenience (used by nn.Module and the baselines)
+# --------------------------------------------------------------------------- #
+def save_module(path: str, module, manifest: Optional[Dict[str, object]] = None,
+                kind: str = "module") -> str:
+    """Persist a :class:`~repro.nn.Module`'s parameters as a checkpoint."""
+    arrays = {f"model/{name}": value
+              for name, value in module.state_dict().items()}
+    return save_checkpoint(path, arrays, manifest=manifest, kind=kind)
+
+
+def load_module(path: str, module, strict: bool = True,
+                expect_kind: Optional[str] = None) -> Checkpoint:
+    """Load a checkpoint saved by :func:`save_module` into ``module``."""
+    checkpoint = load_checkpoint(path, expect_kind=expect_kind)
+    module.load_state_dict(checkpoint.namespace("model"), strict=strict)
+    return checkpoint

@@ -123,6 +123,23 @@ class Module:
                 )
             param.data = value.copy()
 
+    def save_state(self, path: str, manifest: Optional[Dict[str, object]] = None) -> str:
+        """Persist :meth:`state_dict` as a checkpoint directory (``repro.io``).
+
+        The shared save path for every model in the repository — CDRIB and
+        all the baselines go through the same versioned npz + manifest
+        format; see :mod:`repro.io.checkpoint`.
+        """
+        from ..io import save_module  # local import: io depends on nn
+
+        return save_module(path, self, manifest=manifest)
+
+    def load_state(self, path: str, strict: bool = True) -> None:
+        """Load parameters saved by :meth:`save_state` (checksum-verified)."""
+        from ..io import load_module  # local import: io depends on nn
+
+        load_module(path, self, strict=strict)
+
     # ------------------------------------------------------------------ #
     # Call protocol
     # ------------------------------------------------------------------ #

@@ -7,7 +7,7 @@ L2 weight decay and global-norm gradient clipping.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -43,6 +43,43 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # State (de)serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Return a copy of the optimizer's mutable state.
+
+        Subclasses with per-parameter buffers extend this; buffers are keyed
+        positionally (the parameter list order is the module's
+        ``named_parameters`` order, which is deterministic).
+        """
+        return {"num_parameters": len(self.parameters)}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self._check_state_count(state)
+
+    def _check_state_count(self, state: Dict[str, object]) -> None:
+        count = int(state.get("num_parameters", len(self.parameters)))
+        if count != len(self.parameters):
+            raise ValueError(
+                f"optimizer state covers {count} parameters, "
+                f"this optimizer manages {len(self.parameters)}"
+            )
+
+    def _check_buffer_shapes(self, buffers: List[np.ndarray], label: str) -> None:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state has {len(buffers)} {label} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        for index, (buffer, param) in enumerate(zip(buffers, self.parameters)):
+            if np.shape(buffer) != param.data.shape:
+                raise ValueError(
+                    f"{label} buffer {index} has shape {np.shape(buffer)}, "
+                    f"expected {param.data.shape}"
+                )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -66,6 +103,17 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        velocity = [np.asarray(v, dtype=np.float64) for v in state["velocity"]]
+        self._check_buffer_shapes(velocity, "velocity")
+        self._velocity = [v.copy() for v in velocity]
 
 
 class Adam(Optimizer):
@@ -150,6 +198,46 @@ class Adam(Optimizer):
         m_hat = m / bias1
         v_hat = v / bias2
         master -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Adam state in engine-agnostic per-parameter form.
+
+        Fused and reference optimizers share one canonical layout (step count
+        plus per-parameter first/second moments), so a checkpoint written by
+        either engine restores into the other — the fused flat buffers are
+        just a different in-memory view of the same values.
+        """
+        state = super().state_dict()
+        state["step_count"] = int(self._step_count)
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore moments and step count; fused engines re-adopt the master.
+
+        After a surrounding ``Module.load_state_dict`` rebinds every
+        ``param.data``, the fused fast path's master buffer is stale; loading
+        optimizer state therefore re-adopts the parameters immediately so the
+        next :meth:`step` starts from a consistent aliasing (rather than
+        relying on the lazy ``.base`` check).
+        """
+        super().load_state_dict(state)
+        first = [np.asarray(m, dtype=np.float64) for m in state["m"]]
+        second = [np.asarray(v, dtype=np.float64) for v in state["v"]]
+        self._check_buffer_shapes(first, "first-moment")
+        self._check_buffer_shapes(second, "second-moment")
+        self._step_count = int(state["step_count"])
+        if self.fused:
+            # Write through the flat-buffer views so the fast path and the
+            # missing-gradient fallback keep sharing state.
+            for index in range(len(self.parameters)):
+                self._m[index][...] = first[index]
+                self._v[index][...] = second[index]
+            self._adopt_parameters()
+        else:
+            self._m = [m.copy() for m in first]
+            self._v = [v.copy() for v in second]
 
     def _adopt_parameters(self) -> None:
         """(Re)alias every ``param.data`` as a view into one master buffer.

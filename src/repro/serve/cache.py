@@ -49,12 +49,20 @@ class LRUCache:
         return None
 
     def put(self, key: Hashable, value: np.ndarray) -> None:
-        """Insert ``value``, evicting the least-recently-used entry if full."""
+        """Insert ``value``, evicting the least-recently-used entry if full.
+
+        The stored entry is a *read-only* view: :meth:`get` hands the cached
+        array out by reference (copying on every hit would defeat the
+        cache), so a caller mutating a returned vector would otherwise
+        silently corrupt the latent for every future hit of that user.
+        """
         if self.capacity == 0:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = value
+        entry = np.asarray(value).view()
+        entry.setflags(write=False)
+        self._entries[key] = entry
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 

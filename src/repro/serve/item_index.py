@@ -36,7 +36,13 @@ class ItemIndex:
     """
 
     def __init__(self, item_latents: np.ndarray, domain: str = ""):
-        latents = np.ascontiguousarray(np.asarray(item_latents, dtype=np.float64))
+        # Preserve the model's floating dtype: force-casting float32 latents
+        # to float64 would silently double the index's resident memory.
+        # Non-float inputs (e.g. integer test fixtures) still become float64.
+        latents = np.asarray(item_latents)
+        if not np.issubdtype(latents.dtype, np.floating):
+            latents = latents.astype(np.float64)
+        latents = np.ascontiguousarray(latents)
         if latents.ndim != 2:
             raise ValueError(f"item_latents must be 2-D, got shape {latents.shape}")
         self.item_latents = latents
@@ -61,9 +67,15 @@ class ItemIndex:
     # Scoring
     # ------------------------------------------------------------------ #
     def scores(self, user_latents: np.ndarray) -> np.ndarray:
-        """Inner-product scores of shape (batch, num_items)."""
-        user_latents = np.atleast_2d(np.asarray(user_latents, dtype=np.float64))
-        return user_latents @ self.item_latents.T
+        """Inner-product scores of shape (batch, num_items).
+
+        The score dtype follows numpy promotion of the query and index
+        dtypes (float32 queries against a float32 index stay float32).
+        """
+        user_latents = np.asarray(user_latents)
+        if not np.issubdtype(user_latents.dtype, np.floating):
+            user_latents = user_latents.astype(np.float64)
+        return np.atleast_2d(user_latents) @ self.item_latents.T
 
     def top_k(self, user_latents: np.ndarray, k: int,
               exclude: Optional[list] = None) -> Tuple[np.ndarray, np.ndarray]:

@@ -24,6 +24,15 @@ def test_serve_package_is_fully_documented():
     assert problems == []
 
 
+def test_io_package_is_fully_documented():
+    """The checkpoint subsystem is public API and held to the same bar."""
+    lint_docs = _load_linter()
+    problems = []
+    for path in sorted((REPO_ROOT / "src" / "repro" / "io").rglob("*.py")):
+        problems.extend(lint_docs.lint_file(path))
+    assert problems == []
+
+
 def test_linter_flags_missing_docstrings(tmp_path):
     lint_docs = _load_linter()
     bad = tmp_path / "bad.py"

@@ -175,6 +175,62 @@ class TestBatchedScoring:
         assert calls[0] == result.metrics.num_records * 6
 
 
+class TestNegativeStreamAlignment:
+    """The exhausted-pool branch must consume the RNG like every other draw.
+
+    Regression for small catalogs: a record whose banned set leaves at most
+    ``count`` candidates used to return the sorted complement *without*
+    touching the generator, making every later record's draws depend on
+    whether an earlier pool happened to be exhausted.  The stream is now
+    branch-deterministic: one permutation of the complement per such record.
+    """
+
+    def test_exhausted_pool_consumes_one_permutation(self):
+        sample = LeaveOneOutEvaluator._sample_negatives
+        num_items, count = 10, 5
+        banned = set(range(6))  # available=4 <= count -> complement branch
+
+        rng = np.random.default_rng(42)
+        first = sample(rng, num_items, banned, count)
+        second = sample(rng, num_items, set(), count)
+
+        # The complement branch returns exactly the unbanned items ...
+        assert sorted(first.tolist()) == [6, 7, 8, 9]
+        # ... in permutation order, having consumed exactly one permutation
+        # of the complement: replaying that consumption on a fresh generator
+        # reproduces the next record's draws bit-for-bit.
+        replay = np.random.default_rng(42)
+        np.testing.assert_array_equal(first, replay.permutation(np.array([6, 7, 8, 9])))
+        np.testing.assert_array_equal(second, sample(replay, num_items, set(), count))
+
+    def test_exhausted_pool_output_is_not_sorted_everywhere(self):
+        sample = LeaveOneOutEvaluator._sample_negatives
+        outputs = []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            outputs.append(sample(rng, 12, set(range(6)), 6).tolist())
+        assert any(out != sorted(out) for out in outputs)
+
+    def test_rejection_branch_stream_unchanged(self):
+        """The fix must not touch the normal rejection path's draws."""
+        sample = LeaveOneOutEvaluator._sample_negatives
+        rng = np.random.default_rng(7)
+        drawn = sample(rng, 1000, {1, 2, 3}, 10)
+
+        replay = np.random.default_rng(7)
+        expected, seen = [], {1, 2, 3}
+        while len(expected) < 10:
+            for item in replay.integers(0, 1000, size=(10 - len(expected)) * 2):
+                item = int(item)
+                if item in seen:
+                    continue
+                seen.add(item)
+                expected.append(item)
+                if len(expected) == 10:
+                    break
+        np.testing.assert_array_equal(drawn, expected)
+
+
 class TestGrouping:
     def test_groups_partition_records(self, tiny_scenario, evaluator):
         split = tiny_scenario.x_to_y

@@ -19,6 +19,22 @@ class TestParser:
         assert args.batch_sizes == "1,8"
         assert args.top_k == 3
 
+    def test_train_and_checkpoint_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--save", "runs/a", "--resume", "runs/b",
+                                  "--epochs", "3", "--engine", "reference",
+                                  "--checkpoint-dir", "runs/c"])
+        assert args.experiment == "train"
+        assert args.save == "runs/a"
+        assert args.resume == "runs/b"
+        assert args.epochs == 3
+        assert args.engine == "reference"
+        assert args.checkpoint_dir == "runs/c"
+        args = parser.parse_args(["serve", "--checkpoint", "runs/a",
+                                  "--num-users", "4"])
+        assert args.checkpoint == "runs/a"
+        assert args.num_users == 4
+
     def test_unknown_experiment_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -48,3 +64,74 @@ class TestServeDispatch:
         assert "batch-sizes" in capsys.readouterr().err
         with pytest.raises(ValueError):
             run_serving_benchmark("game_video", batch_sizes=(-5, 256))
+
+
+class TestCheckpointPipeline:
+    """train --save → serve --checkpoint: the acceptance path of repro.io."""
+
+    def test_serve_checkpoint_matches_live_server(self, tmp_path):
+        from repro.core import CDRIB, CDRIBTrainer
+        from repro.experiments.config import get_profile
+        from repro.experiments.runners import (
+            build_paper_scenario,
+            run_checkpoint_serving,
+            run_training_job,
+        )
+        from repro.serve import ColdStartServer
+
+        ckpt = str(tmp_path / "ckpt")
+        rows = run_training_job("game_video", profile=get_profile("smoke"),
+                                epochs=1, save_path=ckpt)
+        assert [row["epoch"] for row in rows] == [1]
+
+        served = run_checkpoint_serving(ckpt, top_k=5, num_users=4)
+        assert served
+
+        # An in-process server built from the live trained model (same
+        # deterministic scenario/profile/seed) must agree bit for bit.
+        profile = get_profile("smoke")
+        scenario = build_paper_scenario("game_video", profile)
+        trainer = CDRIBTrainer(CDRIB(scenario, profile.cdrib))
+        trainer.fit(epochs=1)
+        split = scenario.x_to_y
+        live = ColdStartServer(trainer.model, split.source, split.target, top_k=5)
+        recommendations = live.recommend([row["user"] for row in served], k=5)
+        for row, rec in zip(served, recommendations):
+            assert row["items"] == [int(item) for item in rec.items]
+            assert row["scores"] == [float(score) for score in rec.scores]
+
+    def test_checkpoint_without_provenance_rejected(self, tmp_path, tiny_scenario,
+                                                    fast_cdrib_config):
+        from repro.core import CDRIB, CDRIBTrainer
+        from repro.experiments.runners import run_checkpoint_serving
+        from repro.io import CheckpointError
+
+        trainer = CDRIBTrainer(CDRIB(tiny_scenario, fast_cdrib_config))
+        path = trainer.save_checkpoint(str(tmp_path / "anon"))
+        with pytest.raises(CheckpointError, match="provenance"):
+            run_checkpoint_serving(path)
+
+    def test_cli_main_writes_output_and_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        ckpt = str(tmp_path / "ckpt")
+        output = str(tmp_path / "history.json")
+        code = main(["train", "--profile", "smoke", "--epochs", "1",
+                     "--save", ckpt, "--output", output])
+        assert code == 0
+        assert "saved checkpoint" in capsys.readouterr().out
+
+        manifest_path = str(tmp_path / "history.manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["experiment"] == "train"
+        assert manifest["rows"] == 1
+        assert manifest["checkpoint"] == ckpt
+        assert manifest["output"]["file"] == "history.json"
+        assert len(manifest["output"]["sha256"]) == 64
+
+        code = main(["serve", "--checkpoint", ckpt, "--num-users", "2"])
+        assert code == 0
+        assert "user" in capsys.readouterr().out

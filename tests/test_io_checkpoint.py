@@ -1,0 +1,242 @@
+"""Tests for the ``repro.io`` checkpoint subsystem.
+
+Covers the on-disk format (payload + manifest, checksum, versioning), the
+shared :class:`~repro.nn.Module` save path, optimizer persistence for the
+fused and reference Adam engines, and baseline save/load.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.io import (
+    FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.io.checkpoint import MANIFEST_NAME, PAYLOAD_NAME
+from repro.nn import Embedding, Linear, Module
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam
+
+
+# --------------------------------------------------------------------------- #
+# Format round-trips and rejection
+# --------------------------------------------------------------------------- #
+class TestCheckpointFormat:
+    def _arrays(self, rng):
+        return {
+            "model/weight": rng.standard_normal((4, 3)),
+            "model/bias32": rng.standard_normal(3).astype(np.float32),
+            "optim/step": np.int64(17),
+        }
+
+    def test_round_trip_is_bit_identical(self, tmp_path, rng):
+        arrays = self._arrays(rng)
+        states = {"model": np.random.default_rng(9).bit_generator.state}
+        path = save_checkpoint(str(tmp_path / "ckpt"), arrays,
+                               manifest={"metrics": {"loss": 1.5}},
+                               rng_states=states, kind="unit-test")
+        loaded = load_checkpoint(path, expect_kind="unit-test")
+        assert loaded.format_version == FORMAT_VERSION
+        assert loaded.manifest["metrics"] == {"loss": 1.5}
+        for key, value in arrays.items():
+            assert loaded.arrays[key].dtype == np.asarray(value).dtype
+            np.testing.assert_array_equal(loaded.arrays[key], value)
+        assert loaded.rng_states["model"] == states["model"]
+        assert loaded.scalar("optim/step") == 17
+        assert set(loaded.namespace("model")) == {"weight", "bias32"}
+
+    def test_corrupt_payload_is_rejected(self, tmp_path, rng):
+        path = save_checkpoint(str(tmp_path / "ckpt"), self._arrays(rng))
+        payload = os.path.join(path, PAYLOAD_NAME)
+        blob = bytearray(open(payload, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(payload, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_is_rejected(self, tmp_path, rng):
+        path = save_checkpoint(str(tmp_path / "ckpt"), self._arrays(rng))
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = FORMAT_VERSION + 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path)
+
+    def test_wrong_kind_is_rejected(self, tmp_path, rng):
+        path = save_checkpoint(str(tmp_path / "ckpt"), self._arrays(rng),
+                               kind="module")
+        with pytest.raises(CheckpointError, match="kind"):
+            load_checkpoint(path, expect_kind="cdrib-trainer")
+
+    def test_non_checkpoint_directory_is_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_checkpoint(str(tmp_path))
+
+    def test_reserved_keys_are_rejected(self, tmp_path, rng):
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "a"), {"rng_json": np.zeros(1)})
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "b"), {"x": np.zeros(1)},
+                            manifest={"format_version": 99})
+
+
+# --------------------------------------------------------------------------- #
+# Module save path
+# --------------------------------------------------------------------------- #
+class _TinyNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embed = Embedding(5, 4, rng=rng)
+        self.out = Linear(4, 2, rng=rng)
+
+    def forward(self, idx):
+        return self.out(self.embed(idx))
+
+
+class TestModuleSaveState:
+    def test_round_trip_restores_every_parameter(self, tmp_path):
+        net = _TinyNet(seed=1)
+        path = net.save_state(str(tmp_path / "net"))
+        other = _TinyNet(seed=2)
+        before = {k: v.copy() for k, v in other.state_dict().items()}
+        other.load_state(path)
+        for key, value in net.state_dict().items():
+            np.testing.assert_array_equal(other.state_dict()[key], value)
+        assert any(not np.array_equal(before[k], v)
+                   for k, v in other.state_dict().items())
+
+    def test_strict_shape_mismatch_fails(self, tmp_path):
+        net = _TinyNet()
+        path = net.save_state(str(tmp_path / "net"))
+
+        class Other(Module):
+            def __init__(self):
+                super().__init__()
+                self.embed = Embedding(5, 4)
+
+        with pytest.raises(KeyError):
+            Other().load_state(path)
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer persistence
+# --------------------------------------------------------------------------- #
+def _quadratic_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.standard_normal((3, 2)), name="a"),
+            Parameter(rng.standard_normal(4), name="b")]
+
+
+def _quadratic_step(params, optimizer, targets):
+    for param, target in zip(params, targets):
+        param.grad = 2.0 * (param.data - target)
+    optimizer.step()
+
+
+class TestOptimizerStateDict:
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_adam_resume_matches_uninterrupted(self, fused):
+        targets = [np.full((3, 2), 0.5), np.full(4, -1.0)]
+
+        straight = _quadratic_params()
+        opt_straight = Adam(straight, lr=0.05, fused=fused)
+        for _ in range(12):
+            _quadratic_step(straight, opt_straight, targets)
+
+        resumed = _quadratic_params()
+        opt_a = Adam(resumed, lr=0.05, fused=fused)
+        for _ in range(5):
+            _quadratic_step(resumed, opt_a, targets)
+        saved_params = [p.data.copy() for p in resumed]
+        saved_state = opt_a.state_dict()
+
+        fresh = _quadratic_params(seed=99)
+        for param, value in zip(fresh, saved_params):
+            param.data = value.copy()
+        opt_b = Adam(fresh, lr=0.05, fused=fused)
+        opt_b.load_state_dict(saved_state)
+        for _ in range(7):
+            _quadratic_step(fresh, opt_b, targets)
+
+        for param_a, param_b in zip(straight, fresh):
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_adam_state_crosses_engines(self):
+        """Fused state loads into a reference optimizer and vice versa."""
+        params_ref = _quadratic_params()
+        params_fused = _quadratic_params()
+        ref = Adam(params_ref, lr=0.05, fused=False)
+        fused = Adam(params_fused, lr=0.05, fused=True)
+        targets = [np.full((3, 2), 0.5), np.full(4, -1.0)]
+        for _ in range(4):
+            _quadratic_step(params_ref, ref, targets)
+        fused.load_state_dict(ref.state_dict())
+        state = fused.state_dict()
+        assert state["step_count"] == 4
+        for m_ref, m_fused in zip(ref.state_dict()["m"], state["m"]):
+            np.testing.assert_array_equal(m_ref, m_fused)
+
+    def test_adam_shape_mismatch_rejected(self):
+        opt = Adam(_quadratic_params(), lr=0.05)
+        state = opt.state_dict()
+        state["m"][0] = np.zeros((9, 9))
+        with pytest.raises(ValueError):
+            opt.load_state_dict(state)
+
+    def test_adam_count_mismatch_rejected(self):
+        opt = Adam(_quadratic_params(), lr=0.05)
+        state = opt.state_dict()
+        state["num_parameters"] = 5
+        with pytest.raises(ValueError):
+            opt.load_state_dict(state)
+
+    def test_sgd_velocity_round_trip(self):
+        params = _quadratic_params()
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        targets = [np.zeros((3, 2)), np.zeros(4)]
+        for _ in range(3):
+            _quadratic_step(params, opt, targets)
+        other = SGD(_quadratic_params(), lr=0.1, momentum=0.9)
+        other.load_state_dict(opt.state_dict())
+        for v_a, v_b in zip(opt._velocity, other._velocity):
+            np.testing.assert_array_equal(v_a, v_b)
+
+
+# --------------------------------------------------------------------------- #
+# Baseline persistence (shared Module path)
+# --------------------------------------------------------------------------- #
+class TestBaselinePersistence:
+    def test_bprmf_scores_survive_round_trip(self, tmp_path, tiny_scenario,
+                                             fast_baseline_config):
+        model = make_baseline("BPRMF", fast_baseline_config)
+        model.fit(tiny_scenario)
+        split = tiny_scenario.x_to_y
+        users = np.array([u.source_user for u in split.test[:3]])
+        items = np.arange(users.shape[0])
+        before = model.scorer(split.source, split.target)(users, items)
+
+        path = model.save(str(tmp_path / "bprmf"))
+        fresh = make_baseline("BPRMF", fast_baseline_config)
+        fresh.fit(tiny_scenario)  # build the structure, then overwrite values
+        fresh.load(path)
+        after = fresh.scorer(split.source, split.target)(users, items)
+        np.testing.assert_array_equal(before, after)
+
+    def test_unfitted_baseline_rejects_load(self, tmp_path, tiny_scenario,
+                                            fast_baseline_config):
+        model = make_baseline("BPRMF", fast_baseline_config)
+        model.fit(tiny_scenario)
+        path = model.save(str(tmp_path / "bprmf"))
+        with pytest.raises(ValueError, match="no modules"):
+            make_baseline("BPRMF", fast_baseline_config).load(path)

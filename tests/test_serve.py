@@ -146,6 +146,39 @@ class TestItemIndex:
         assert np.all(np.isneginf(scores[0][1:]))
 
 
+class TestItemIndexDtype:
+    """The index must not silently double memory for float32 models."""
+
+    def test_float32_latents_are_preserved(self):
+        latents = np.random.default_rng(0).standard_normal((6, 4)).astype(np.float32)
+        index = ItemIndex(latents)
+        assert index.item_latents.dtype == np.float32
+        assert index.scores(latents[:2]).dtype == np.float32
+
+    def test_float64_latents_are_preserved(self):
+        latents = np.random.default_rng(0).standard_normal((6, 4))
+        index = ItemIndex(latents)
+        assert index.item_latents.dtype == np.float64
+        assert index.scores(latents[:2]).dtype == np.float64
+
+    def test_integer_latents_become_float64(self):
+        index = ItemIndex(np.arange(12).reshape(4, 3))
+        assert index.item_latents.dtype == np.float64
+
+    def test_float32_top_k_matches_float64(self):
+        rng = np.random.default_rng(3)
+        latents = rng.standard_normal((20, 8))
+        users = rng.standard_normal((3, 8))
+        items32, _ = ItemIndex(latents.astype(np.float32)).top_k(
+            users.astype(np.float32), k=5)
+        items64, scores64 = ItemIndex(latents).top_k(users, k=5)
+        for row in range(3):
+            assert_rankings_equivalent(
+                items32[row], items64[row],
+                ItemIndex(latents).scores(users[row:row + 1])[0],
+            )
+
+
 class TestColdStartServer:
     def test_recommend_trims_exclusion_padding(self, small_scenario):
         # In-domain serving with exclude_seen: a user whose history leaves
@@ -317,6 +350,24 @@ class TestLRUCache:
     def test_negative_capacity_raises(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_entries_are_read_only(self):
+        """Mutation regression: a caller writing to a returned latent must
+        fail loudly instead of silently corrupting every future hit."""
+        cache = LRUCache(4)
+        cache.put("u", np.array([1.0, 2.0, 3.0]))
+        hit = cache.get("u")
+        with pytest.raises(ValueError):
+            hit[0] = 99.0
+        np.testing.assert_array_equal(cache.get("u"), [1.0, 2.0, 3.0])
+
+    def test_overwritten_entries_stay_read_only(self):
+        cache = LRUCache(4)
+        cache.put("u", np.array([1.0]))
+        cache.put("u", np.array([2.0]))
+        hit = cache.get("u")
+        assert not hit.flags.writeable
+        np.testing.assert_array_equal(hit, [2.0])
 
 
 class TestRequestBatcher:
