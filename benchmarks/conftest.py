@@ -46,3 +46,10 @@ def bench_scenarios():
     if raw.strip():
         return [name.strip() for name in raw.split(",") if name.strip()]
     return ["music_movie", "phone_elec", "cloth_sport", "game_video"]
+
+
+@pytest.fixture(scope="session")
+def suite_jobs():
+    """Worker-pool size for suite benchmarks; override with REPRO_BENCH_JOBS=N."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    return int(raw) if raw else 2

@@ -5,52 +5,95 @@ Reproduces, on one scenario:
 
 * **Table VII** — full CDRIB vs ``w/o Con`` vs ``w/o In-IB&Con``, plus the two
   extra design-choice ablations this repository adds (deterministic encoder,
-  inner-product contrast instead of the MLP discriminator);
+  inner-product contrast instead of the MLP discriminator).  The variants run
+  as an experiment *suite* — a model-axis grid executed on a parallel worker
+  pool with per-seed aggregation and significance markers — instead of a
+  hand-rolled loop;
 * **Figure 5** — the Lagrangian-multiplier (beta) sweep;
-* **Figure 6** — the VBGE layer-count sweep.
+* **Figure 6** — the VBGE layer-count sweep (both optional, ``--figures``).
 
 Run with::
 
-    python examples/ablation_and_hyperparams.py [scenario_name]
+    python examples/ablation_and_hyperparams.py [scenario] [--quick] [--figures]
+
+The profile follows ``REPRO_BENCH_PROFILE`` (default ``fast``); ``--quick``
+runs a single seed (used by CI at the smoke profile).  Re-running resumes
+from the finished jobs.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.experiments import (
+    SuiteSpec,
     format_rows,
     get_profile,
-    run_ablation,
     run_beta_sweep,
     run_layer_sweep,
+    run_suite,
 )
+
+ABLATION_MODELS = ["CDRIB", "CDRIB:wo_con", "CDRIB:wo_inib_con",
+                   "CDRIB:deterministic", "CDRIB:dot_contrast"]
 
 
 def main() -> None:
-    scenario_name = sys.argv[1] if len(sys.argv) > 1 else "phone_elec"
-    profile = get_profile("fast")
-    print(f"scenario: {scenario_name}   profile: {profile.name}")
+    """Run the ablation grid as a suite, then the optional figure sweeps."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", nargs="?", default="phone_elec")
+    parser.add_argument("--quick", action="store_true",
+                        help="single seed (CI smoke)")
+    parser.add_argument("--figures", action="store_true",
+                        help="also run the Figure 5/6 sweeps")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel worker processes (default: 2)")
+    parser.add_argument("--output", default=None,
+                        help="artifact directory (default: suite_runs/<name>)")
+    args = parser.parse_args()
+
+    profile = get_profile()
+    spec = SuiteSpec.from_dict({
+        "name": f"ablation-{args.scenario}",
+        "description": f"Table VII + design-choice ablations on {args.scenario}",
+        "scenarios": [args.scenario],
+        "models": ABLATION_MODELS,
+        "seeds": [0] if args.quick else [0, 1, 2],
+        "profile": profile.name,
+    })
+    print(f"scenario: {args.scenario}   profile: {profile.name}   "
+          f"variants: {', '.join(spec.models)}   seeds: {list(spec.seeds)}")
 
     start = time.time()
-    ablation_rows = run_ablation(
-        scenario_name,
-        variants=("wo_inib_con", "wo_con", "full", "deterministic", "dot_contrast"),
-        profile=profile,
-    )
-    print(f"\n=== Ablation (Table VII + design-choice ablations), {time.time() - start:.0f}s ===")
-    print(format_rows(ablation_rows, ["method", "direction", "MRR", "NDCG@10", "HR@10"]))
+    output_dir = args.output or f"suite_runs/{spec.name}"
+    result = run_suite(spec, output_dir, jobs=args.jobs)
+    if result.skipped:
+        print(f"resumed: {result.skipped} finished job(s) skipped")
+    print(f"\n=== Ablation (Table VII + design-choice ablations), "
+          f"{time.time() - start:.0f}s ===")
+    print(format_rows(result.aggregate(),
+                      columns=["direction", "method", "MRR", "NDCG@10",
+                               "HR@10", "seeds", "sig"]))
+    print(f"artifacts: {output_dir}/")
+
+    if not args.figures:
+        print("\n(pass --figures to also run the Figure 5/6 sweeps)")
+        return
 
     start = time.time()
-    beta_rows = run_beta_sweep(scenario_name, betas=(0.5, 1.0, 1.5, 2.0), profile=profile)
-    print(f"\n=== Lagrangian multiplier sweep (Figure 5), {time.time() - start:.0f}s ===")
+    beta_rows = run_beta_sweep(args.scenario, betas=(0.5, 1.0, 1.5, 2.0),
+                               profile=profile)
+    print(f"\n=== Lagrangian multiplier sweep (Figure 5), "
+          f"{time.time() - start:.0f}s ===")
     print(format_rows(beta_rows, ["beta", "direction", "MRR", "NDCG@10", "HR@10"]))
 
     start = time.time()
-    layer_rows = run_layer_sweep(scenario_name, layer_counts=(1, 2, 3, 4), profile=profile)
+    layer_rows = run_layer_sweep(args.scenario, layer_counts=(1, 2, 3, 4),
+                                 profile=profile)
     print(f"\n=== VBGE layer sweep (Figure 6), {time.time() - start:.0f}s ===")
-    print(format_rows(layer_rows, ["num_layers", "direction", "MRR", "NDCG@10", "HR@10"]))
+    print(format_rows(layer_rows, ["num_layers", "direction", "MRR", "NDCG@10",
+                                   "HR@10"]))
 
 
 if __name__ == "__main__":

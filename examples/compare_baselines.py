@@ -1,69 +1,80 @@
 #!/usr/bin/env python3
 """Compare CDRIB against the paper's baseline families on one scenario.
 
-Reproduces a single-scenario slice of Tables III-VI: every registered
-baseline (single-domain CF, cross-domain transfer, EMCDR family) plus CDRIB
-is trained on the same synthetic scenario and evaluated on the same
-cold-start users.  Runtime is a few minutes on a laptop CPU.
+Reproduces a single-scenario slice of Tables III-VI through the experiment
+suite orchestrator: the scenario × model × seed grid expands into one job
+per combination, runs on a parallel worker pool with deterministic per-job
+seeding, writes durable per-job artifacts, and aggregates into a mean±std
+table where ``*`` marks the best model when a paired t-test on reciprocal
+ranks finds it significantly better than the runner-up — the paper's
+footnote convention, now computed automatically.
 
 Run with::
 
-    python examples/compare_baselines.py [scenario_name]
+    python examples/compare_baselines.py [scenario] [--quick] [--jobs N]
 
-where ``scenario_name`` is one of music_movie, phone_elec, cloth_sport,
-game_video (default: game_video, the smallest).
+where ``scenario`` is one of music_movie, phone_elec, cloth_sport,
+game_video (default: game_video, the smallest).  ``--quick`` trims the grid
+to one model per baseline family and a single seed (used by CI at the smoke
+profile); the profile follows ``REPRO_BENCH_PROFILE`` (default ``fast``).
+Re-running with the same arguments resumes from the finished jobs.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
-from repro.baselines import ALL_BASELINES, make_baseline
-from repro.eval import paired_t_test
+from repro.baselines import ALL_BASELINES
 from repro.experiments import (
-    build_paper_scenario,
+    SuiteSpec,
     format_rows,
     get_profile,
-    make_evaluator,
-    run_main_comparison,
-    train_cdrib,
+    run_suite,
 )
+
+QUICK_MODELS = ["BPRMF", "PPGN", "EMCDR(BPRMF)", "SA-VAE", "CDRIB"]
 
 
 def main() -> None:
-    scenario_name = sys.argv[1] if len(sys.argv) > 1 else "game_video"
-    profile = get_profile("fast")
+    """Expand the comparison grid into a suite and print the aggregate table."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", nargs="?", default="game_video")
+    parser.add_argument("--quick", action="store_true",
+                        help="one model per family, single seed (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel worker processes (default: 2)")
+    parser.add_argument("--output", default=None,
+                        help="artifact directory (default: suite_runs/<name>)")
+    args = parser.parse_args()
 
-    print(f"scenario: {scenario_name}   profile: {profile.name}")
-    print(f"baselines: {', '.join(ALL_BASELINES)}")
+    profile = get_profile()
+    spec = SuiteSpec.from_dict({
+        "name": f"compare-baselines-{args.scenario}",
+        "description": f"Tables III-VI slice on {args.scenario}",
+        "scenarios": [args.scenario],
+        "models": (QUICK_MODELS if args.quick
+                   else list(ALL_BASELINES) + ["CDRIB"]),
+        "seeds": [0] if args.quick else [0, 1, 2],
+        "profile": profile.name,
+    })
+    print(f"scenario: {args.scenario}   profile: {profile.name}   "
+          f"models: {', '.join(spec.models)}   seeds: {list(spec.seeds)}")
 
     start = time.time()
-    rows = run_main_comparison(scenario_name, profile=profile)
-    print(f"\nfinished in {time.time() - start:.0f}s\n")
-    print(format_rows(rows, ["method", "direction", "MRR", "NDCG@5", "NDCG@10",
-                             "HR@1", "HR@5", "HR@10"]))
+    output_dir = args.output or f"suite_runs/{spec.name}"
+    result = run_suite(spec, output_dir, jobs=args.jobs)
+    if result.skipped:
+        print(f"resumed: {result.skipped} finished job(s) skipped")
+    print(f"finished {len(result.payloads)} job(s) in {time.time() - start:.0f}s\n")
 
-    # Significance check of CDRIB against the strongest EMCDR-family baseline,
-    # mirroring the paper's paired t-test footnote.
-    scenario = build_paper_scenario(scenario_name, profile)
-    evaluator = make_evaluator(scenario, profile)
-    trainer = train_cdrib(scenario, profile.cdrib)
-    challenger = make_baseline("EMCDR(BPRMF)", profile.baseline).fit(scenario)
-
-    print("\nPaired t-test (CDRIB vs EMCDR(BPRMF)) per direction:")
-    for split in scenario.directions:
-        ours = evaluator.evaluate_direction(
-            trainer.make_scorer(split.source, split.target), split.source, split.target
-        )
-        theirs = evaluator.evaluate_direction(
-            challenger.scorer(split.source, split.target), split.source, split.target
-        )
-        outcome = paired_t_test(ours, theirs)
-        verdict = "significant" if outcome.significant else "not significant"
-        print(f"  {split.source}->{split.target}: "
-              f"mean reciprocal-rank difference {outcome.mean_difference:+.4f} "
-              f"(p={outcome.p_value:.3f}, {verdict})")
+    print(format_rows(result.aggregate(),
+                      columns=["direction", "method", "MRR", "NDCG@10",
+                               "HR@10", "seeds", "sig"]))
+    print("\n(* = best model significantly better than the runner-up, "
+          "paired t-test on reciprocal ranks, p < 0.05)")
+    print(f"artifacts: {output_dir}/ (per-job results, checkpoints, "
+          f"suite_manifest.json)")
 
 
 if __name__ == "__main__":

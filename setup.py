@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cdrib",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of CDRIB (Cao et al., ICDE 2022): cross-domain "
         "recommendation to cold-start users via variational information "
@@ -32,6 +32,7 @@ setup(
     ],
     entry_points={
         "console_scripts": [
+            "repro = repro.experiments.cli:main",
             "repro-experiments = repro.experiments.cli:main",
         ],
     },

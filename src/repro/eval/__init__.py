@@ -17,7 +17,7 @@ from .protocol import (
     popularity_scorer,
     random_scorer,
 )
-from .significance import SignificanceResult, paired_t_test
+from .significance import SignificanceResult, paired_t_test, paired_t_test_ranks
 
 __all__ = [
     "RankingMetrics",
@@ -37,4 +37,5 @@ __all__ = [
     "PAPER_INTERACTION_BUCKETS",
     "SignificanceResult",
     "paired_t_test",
+    "paired_t_test_ranks",
 ]

@@ -25,6 +25,7 @@ class GroupResult:
 
     @property
     def label(self) -> str:
+        """The bucket's display label as used in Table IX (e.g. ``"6-10"``)."""
         return f"{self.low}-{self.high}"
 
 

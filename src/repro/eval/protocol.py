@@ -55,6 +55,7 @@ class DirectionResult:
     records: List[EvaluationRecord] = field(default_factory=list)
 
     def reciprocal_ranks(self) -> np.ndarray:
+        """Per-record reciprocal ranks, aligned with ``records`` (t-test input)."""
         return np.array([1.0 / record.rank for record in self.records])
 
 

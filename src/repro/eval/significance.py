@@ -31,15 +31,19 @@ class SignificanceResult:
         return self.mean_difference > 0
 
 
-def paired_t_test(result_a: DirectionResult, result_b: DirectionResult,
-                  alpha: float = 0.05) -> SignificanceResult:
-    """Paired t-test on per-record reciprocal ranks of two evaluations.
+def paired_t_test_ranks(ranks_a: np.ndarray, ranks_b: np.ndarray,
+                        alpha: float = 0.05) -> SignificanceResult:
+    """Paired t-test on two aligned per-record reciprocal-rank vectors.
 
-    Both results must come from the same evaluator (same records in the same
-    order); a length mismatch indicates they do not and raises.
+    This is the array-level core of :func:`paired_t_test`, exposed so that
+    callers holding archived rank vectors (for example the experiment-suite
+    aggregator, whose per-job artifacts store reciprocal ranks as JSON lists)
+    can test significance without re-running any evaluation.  Both vectors
+    must cover the identical record set in the identical order; a length
+    mismatch indicates they do not and raises.
     """
-    ranks_a = result_a.reciprocal_ranks()
-    ranks_b = result_b.reciprocal_ranks()
+    ranks_a = np.asarray(ranks_a, dtype=np.float64)
+    ranks_b = np.asarray(ranks_b, dtype=np.float64)
     if ranks_a.shape != ranks_b.shape:
         raise ValueError(
             "paired t-test requires evaluations over identical record sets "
@@ -56,3 +60,14 @@ def paired_t_test(result_a: DirectionResult, result_b: DirectionResult,
         mean_difference=float(difference.mean()),
         significant=bool(p_value < alpha),
     )
+
+
+def paired_t_test(result_a: DirectionResult, result_b: DirectionResult,
+                  alpha: float = 0.05) -> SignificanceResult:
+    """Paired t-test on per-record reciprocal ranks of two evaluations.
+
+    Both results must come from the same evaluator (same records in the same
+    order); a length mismatch indicates they do not and raises.
+    """
+    return paired_t_test_ranks(result_a.reciprocal_ranks(),
+                               result_b.reciprocal_ranks(), alpha=alpha)

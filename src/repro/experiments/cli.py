@@ -9,6 +9,8 @@ Usage (after installation)::
     python -m repro.experiments.cli serve --profile smoke --batch-sizes 1,64
     python -m repro.experiments.cli train --profile smoke --save runs/ckpt
     python -m repro.experiments.cli serve --checkpoint runs/ckpt --top-k 10
+    repro suite --spec main-tables --jobs 4 --output runs/main
+    repro suite --spec my_sweep.json --jobs 2
 
 Each sub-command maps to one paper artefact (plus the ``serve`` throughput
 demo for the :mod:`repro.serve` subsystem and the checkpointed ``train``
@@ -22,6 +24,7 @@ scenario, profile, row count, content checksum).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -41,6 +44,9 @@ EXPERIMENTS: Dict[str, str] = {
              "or top-K lists from a saved artifact with --checkpoint",
     "train": "Train CDRIB with durable checkpoints (--save) and bit-exact "
              "resume (--resume)",
+    "suite": "Declarative sweep over scenarios x models x seeds with parallel "
+             "workers, per-job artifacts and aggregated mean±std tables "
+             "(--spec, --jobs, --output DIR)",
 }
 
 
@@ -53,11 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
                         help="which paper artefact to regenerate")
     parser.add_argument("--scenario", default="game_video",
-                        help="scenario name (music_movie, phone_elec, cloth_sport, game_video)")
+                        help="scenario name (music_movie, phone_elec, cloth_sport, "
+                             "game_video); the suite sub-command ignores this — "
+                             "use the spec's scenarios axis")
     parser.add_argument("--profile", default=None, choices=sorted(PROFILES),
                         help="budget profile (default: REPRO_BENCH_PROFILE or 'fast')")
     parser.add_argument("--output", default=None,
-                        help="optional path to write the rows to (.csv or .json)")
+                        help="optional path to write the rows to (.csv or .json); "
+                             "for suite: the artifact directory "
+                             "(default: suite_runs/<name>)")
     parser.add_argument("--no-savae", action="store_true",
                         help="skip the SA-VAE comparison in table8/table9 (faster)")
     parser.add_argument("--batch-sizes", default="1,32,256",
@@ -80,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(serve only)")
     parser.add_argument("--num-users", type=int, default=8,
                         help="users to serve with --checkpoint (serve only)")
+    parser.add_argument("--spec", default="main-tables",
+                        help="suite spec: a built-in name or a JSON file path "
+                             "(suite only)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel worker processes; results are "
+                             "bit-identical to serial (suite only)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-run every job even if valid artifacts exist "
+                             "(suite only)")
     return parser
 
 
@@ -131,6 +150,70 @@ def run_experiment(name: str, scenario: str, profile_name: Optional[str],
     raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
 
 
+def run_suite_command(spec_arg: str, output: Optional[str], jobs: int = 1,
+                      resume: bool = True,
+                      profile_override: Optional[str] = None,
+                      epochs_override: Optional[int] = None) -> int:
+    """Run the ``suite`` sub-command: execute a spec and render its tables.
+
+    ``--profile`` / ``--epochs`` override the spec's corresponding fields
+    (handy for running a built-in spec at another budget); the overridden
+    spec re-validates and hashes as its own resume identity.  Writes per-job
+    raw rows and the aggregated mean±std table (CSV and Markdown) under
+    ``<output>/tables/``, next to the per-job artifacts and the
+    ``suite_manifest.json`` that :func:`~repro.experiments.suite.run_suite`
+    maintains.
+    """
+    import dataclasses
+
+    from .reporting import save_rows_markdown
+    from .suite import load_suite_spec, run_suite
+
+    spec = load_suite_spec(spec_arg)
+    overrides = {}
+    if profile_override is not None:
+        overrides["profile"] = profile_override
+    if epochs_override is not None:
+        overrides["epochs"] = epochs_override
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+        spec.validate()
+        print(f"spec overrides from CLI flags: {overrides}")
+    output_dir = output or os.path.join("suite_runs", spec.name)
+    print(f"suite {spec.name!r}: {len(spec.scenarios)} scenario(s) x "
+          f"{len(spec.models)} model(s) x {len(spec.seeds)} seed(s), "
+          f"profile {spec.profile!r}, {jobs} worker(s)")
+    result = run_suite(spec, output_dir, jobs=jobs, resume=resume)
+    if result.skipped:
+        print(f"resumed from partial output: {result.skipped} job(s) skipped")
+
+    aggregated = result.aggregate()
+    display_columns = ["scenario", "direction", "method", "MRR", "NDCG@10",
+                       "HR@10", "seeds", "sig"]
+    print()
+    print(runners.format_rows(aggregated, columns=display_columns))
+    print("\n(* = best model significantly better than the runner-up, "
+          "paired t-test on reciprocal ranks, p < 0.05)")
+
+    tables_dir = os.path.join(output_dir, "tables")
+    per_job = save_rows_csv(result.rows(), os.path.join(tables_dir, "per_job.csv"))
+    agg_csv = save_rows_csv(aggregated, os.path.join(tables_dir, "aggregate.csv"))
+    agg_md = save_rows_markdown(
+        aggregated, os.path.join(tables_dir, "aggregate.md"),
+        columns=display_columns,
+        title=f"Suite {spec.name} — {spec.description or 'aggregated results'}")
+    for path in (per_job, agg_csv, agg_md):
+        save_run_manifest(path, {
+            "experiment": "suite",
+            "suite": spec.name,
+            "spec_sha256": result.spec_sha256,
+            "rows": len(aggregated if path != per_job else result.rows()),
+        })
+    print(f"\nwrote {per_job}, {agg_csv} and {agg_md} "
+          f"(manifest: {os.path.join(output_dir, 'suite_manifest.json')})")
+    return 0
+
+
 def save_rows(rows: List[dict], path: str) -> str:
     """Write rows to ``path``, choosing the format from the file extension."""
     if path.endswith(".json"):
@@ -158,6 +241,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--epochs must be >= 1, got {args.epochs}")
     if args.num_users < 1:
         parser.error(f"--num-users must be >= 1, got {args.num_users}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.experiment == "suite":
+        # The suite writes a directory of artifacts, not a single rows file,
+        # so it bypasses the generic --output handling below; --profile and
+        # --epochs apply as spec overrides rather than being ignored.
+        from .suite import SuiteSpecError
+
+        try:
+            return run_suite_command(args.spec, args.output, jobs=args.jobs,
+                                     resume=not args.no_resume,
+                                     profile_override=args.profile,
+                                     epochs_override=args.epochs)
+        except SuiteSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     rows = run_experiment(args.experiment, args.scenario, args.profile,
                           include_savae=not args.no_savae,
                           batch_sizes=batch_sizes, top_k=args.top_k,

@@ -69,6 +69,19 @@ def load_rows_csv(path: str) -> List[ROW]:
     return rows
 
 
+def file_sha256(path: str) -> str:
+    """SHA-256 of a file's content, streamed in 1 MiB blocks.
+
+    The shared integrity primitive of the experiment layer: run manifests
+    and suite manifests all record checksums computed here.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
 def run_manifest_path(output_path: str) -> str:
     """The manifest path paired with a result file: ``<base>.manifest.json``."""
     base, _ = os.path.splitext(output_path)
@@ -83,19 +96,66 @@ def save_run_manifest(output_path: str, manifest: Dict[str, object]) -> str:
     same integrity scheme as :mod:`repro.io` checkpoints — archived tables
     stay attributable and tamper-evident without retraining anything.
     """
-    digest = hashlib.sha256()
-    with open(output_path, "rb") as handle:
-        for block in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(block)
     payload: Dict[str, object] = {"format_version": 1}
     payload.update(manifest)
     payload["output"] = {
         "file": os.path.basename(output_path),
-        "sha256": digest.hexdigest(),
+        "sha256": file_sha256(output_path),
     }
     path = run_manifest_path(output_path)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        handle.write("\n")
+    return path
+
+
+def format_mean_std(mean: float, std: float, digits: int = 2) -> str:
+    """Render an aggregated cell as ``mean±std`` (paper-table style)."""
+    return f"{mean:.{digits}f}±{std:.{digits}f}"
+
+
+def render_markdown_table(rows: List[ROW], columns: Optional[Sequence[str]] = None,
+                          float_digits: int = 2) -> str:
+    """Render result rows as a GitHub-flavoured Markdown table.
+
+    The column set defaults to the union of keys over all rows (first row's
+    ordering first, like :func:`save_rows_csv`), floats are rounded to
+    ``float_digits`` and missing cells render empty, so heterogeneous row
+    sets — e.g. aggregated suite tables with per-metric columns — stay
+    pasteable into a README or paper appendix.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        if value is None:
+            return ""
+        return str(value).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("| " + " | ".join("---" for _ in columns) + " |")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def save_rows_markdown(rows: List[ROW], path: str,
+                       columns: Optional[Sequence[str]] = None,
+                       title: Optional[str] = None) -> str:
+    """Write result rows to a Markdown file; returns the path."""
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        if title:
+            handle.write(f"# {title}\n\n")
+        handle.write(render_markdown_table(rows, columns=columns))
         handle.write("\n")
     return path
 

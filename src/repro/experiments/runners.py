@@ -21,6 +21,7 @@ Serving throughput (extra)   :func:`run_serving_benchmark`
 from __future__ import annotations
 
 import copy
+import dataclasses
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -64,6 +65,7 @@ def build_paper_scenario(name: str, profile: Optional[ExperimentProfile] = None
 
 def make_evaluator(scenario: CDRScenario, profile: ExperimentProfile
                    ) -> LeaveOneOutEvaluator:
+    """Build the leave-one-out evaluator at the profile's evaluation budget."""
     return LeaveOneOutEvaluator(
         scenario, num_negatives=profile.eval_negatives, seed=profile.seed,
         max_users_per_direction=profile.max_eval_users,
@@ -82,6 +84,44 @@ def train_cdrib(scenario: CDRScenario, config: CDRIBConfig,
 # --------------------------------------------------------------------------- #
 # Checkpointed training and serving (repro.io)
 # --------------------------------------------------------------------------- #
+def execute_training_job(scenario: CDRScenario, config: CDRIBConfig,
+                         engine: str = "fused",
+                         epochs: Optional[int] = None,
+                         evaluator: Optional[LeaveOneOutEvaluator] = None,
+                         eval_every: int = 0,
+                         save_path: Optional[str] = None,
+                         resume_path: Optional[str] = None,
+                         checkpoint_dir: Optional[str] = None,
+                         provenance: Optional[Dict[str, object]] = None):
+    """Train one CDRIB model on an assembled scenario; the shared job core.
+
+    Both the ``train`` CLI path (:func:`run_training_job`) and the suite
+    orchestrator (:mod:`repro.experiments.suite`) execute jobs through this
+    function, so every job gets the identical trainer wiring: optional
+    bit-exact resume from ``resume_path``, periodic last/best checkpoints in
+    ``checkpoint_dir``, a final checkpoint at ``save_path`` whose manifest
+    carries ``provenance``, and the trainer's fit history.
+
+    Returns ``(trainer, result)`` so callers can build scorers for
+    evaluation without retraining.
+    """
+    model = CDRIB(scenario, config)
+    trainer = CDRIBTrainer(model, evaluator=evaluator, engine=engine)
+    if provenance is not None:
+        trainer.provenance = dict(provenance)
+    result = trainer.fit(epochs=epochs, eval_every=eval_every,
+                         checkpoint_dir=checkpoint_dir, resume_from=resume_path)
+    if save_path is not None:
+        final = result.history[-1] if result.history else None
+        trainer.save_checkpoint(save_path, metrics={
+            "epoch": final.epoch if final else 0,
+            "loss": final.loss if final else None,
+            "best_validation_mrr": result.best_validation_mrr,
+            "best_epoch": result.best_epoch,
+        })
+    return trainer, result
+
+
 def run_training_job(scenario_name: str,
                      profile: Optional[ExperimentProfile] = None,
                      epochs: Optional[int] = None,
@@ -97,28 +137,21 @@ def run_training_job(scenario_name: str,
     every RNG stream, so the run continues the saved trajectory exactly),
     trains for ``epochs`` (defaults to the profile's budget), and writes a
     final checkpoint to ``save_path``.  The checkpoint manifest records the
-    scenario / profile provenance that ``serve --checkpoint`` later uses to
-    rebuild the serving graph without retraining.
+    scenario / profile / seed provenance that ``serve --checkpoint`` later
+    uses to rebuild the serving graph without retraining.
 
     Returns one row per epoch of the run's history.
     """
     profile = profile if profile is not None else get_profile()
     scenario = build_paper_scenario(scenario_name, profile)
-    config = profile.cdrib
-    model = CDRIB(scenario, config)
     evaluator = make_evaluator(scenario, profile) if eval_every else None
-    trainer = CDRIBTrainer(model, evaluator=evaluator, engine=engine)
-    trainer.provenance = {"scenario": scenario_name, "profile": profile.name}
-    result = trainer.fit(epochs=epochs, eval_every=eval_every,
-                         checkpoint_dir=checkpoint_dir, resume_from=resume_path)
-    if save_path is not None:
-        final = result.history[-1] if result.history else None
-        trainer.save_checkpoint(save_path, metrics={
-            "epoch": final.epoch if final else 0,
-            "loss": final.loss if final else None,
-            "best_validation_mrr": result.best_validation_mrr,
-            "best_epoch": result.best_epoch,
-        })
+    _, result = execute_training_job(
+        scenario, profile.cdrib, engine=engine, epochs=epochs,
+        evaluator=evaluator, eval_every=eval_every, save_path=save_path,
+        resume_path=resume_path, checkpoint_dir=checkpoint_dir,
+        provenance={"scenario": scenario_name, "profile": profile.name,
+                    "seed": profile.seed},
+    )
     rows: List[ROW] = []
     for log in result.history:
         rows.append({
@@ -136,10 +169,11 @@ def run_training_job(scenario_name: str,
 def load_cdrib_checkpoint(path: str):
     """Rebuild a trained :class:`CDRIB` from a checkpoint — no training.
 
-    The manifest's provenance names the scenario and profile, which are
-    deterministic at fixed seed, so the serving graph is re-assembled
-    identically to the training run's; the payload then restores every
-    parameter (checksum-verified).  Returns ``(model, checkpoint)``.
+    The manifest's provenance names the scenario, profile and (for suite
+    jobs) the split seed, which are deterministic together, so the serving
+    graph is re-assembled identically to the training run's; the payload
+    then restores every parameter (checksum-verified).  Returns
+    ``(model, checkpoint)``.
     """
     from ..io import CheckpointError, load_checkpoint
 
@@ -152,6 +186,8 @@ def load_cdrib_checkpoint(path: str):
             f"run_training_job or set trainer.provenance)"
         )
     profile = get_profile(provenance["profile"])
+    if "seed" in provenance:
+        profile = dataclasses.replace(profile, seed=int(provenance["seed"]))
     scenario = build_paper_scenario(provenance["scenario"], profile)
     config = CDRIBConfig(**checkpoint.manifest["model"]["config"])
     model = CDRIB(scenario, config)

@@ -33,6 +33,48 @@ def test_io_package_is_fully_documented():
     assert problems == []
 
 
+def test_experiments_package_is_fully_documented():
+    """The suite orchestrator / runners / CLI are public API (docs lint gate)."""
+    lint_docs = _load_linter()
+    problems = []
+    for path in sorted((REPO_ROOT / "src" / "repro" / "experiments").rglob("*.py")):
+        problems.extend(lint_docs.lint_file(path))
+    assert problems == []
+
+
+def test_eval_package_is_fully_documented():
+    """The evaluation protocol and significance tests are public API too."""
+    lint_docs = _load_linter()
+    problems = []
+    for path in sorted((REPO_ROOT / "src" / "repro" / "eval").rglob("*.py")):
+        problems.extend(lint_docs.lint_file(path))
+    assert problems == []
+
+
+def test_experiments_doc_exists_and_is_linked():
+    """docs/EXPERIMENTS.md ships with the suite and is reachable from the docs."""
+    doc = REPO_ROOT / "docs" / "EXPERIMENTS.md"
+    assert doc.is_file()
+    text = doc.read_text(encoding="utf-8")
+    for anchor in ("Spec schema reference", "suite_manifest.json",
+                   "Resume-from-partial", "smoke", "main-tables"):
+        assert anchor in text, f"EXPERIMENTS.md lost its {anchor!r} section"
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "EXPERIMENTS.md" in readme
+    assert "EXPERIMENTS.md" in architecture
+    assert "Experiment orchestration" in architecture
+
+
+def test_default_targets_cover_public_subsystems():
+    """The CI gate's default target list names every documented subsystem."""
+    lint_docs = _load_linter()
+    assert set(lint_docs.DEFAULT_TARGETS) == {
+        "src/repro/serve", "src/repro/io",
+        "src/repro/experiments", "src/repro/eval",
+    }
+
+
 def test_linter_flags_missing_docstrings(tmp_path):
     lint_docs = _load_linter()
     bad = tmp_path / "bad.py"

@@ -35,6 +35,22 @@ class TestParser:
         assert args.checkpoint == "runs/a"
         assert args.num_users == 4
 
+    def test_suite_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["suite", "--spec", "main-tables", "--jobs", "4",
+                                  "--output", "runs/main", "--no-resume"])
+        assert args.experiment == "suite"
+        assert args.spec == "main-tables"
+        assert args.jobs == 4
+        assert args.output == "runs/main"
+        assert args.no_resume
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.spec == "main-tables"
+        assert args.jobs == 1
+        assert not args.no_resume
+
     def test_unknown_experiment_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -135,3 +151,79 @@ class TestCheckpointPipeline:
         code = main(["serve", "--checkpoint", ckpt, "--num-users", "2"])
         assert code == 0
         assert "user" in capsys.readouterr().out
+
+
+class TestSuiteCommand:
+    """`repro suite`: spec in, parallel jobs out, aggregated tables on disk."""
+
+    def test_main_runs_spec_file_and_writes_tables(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-suite", "scenarios": ["game_video"],
+            "models": ["BPRMF"], "seeds": [0], "profile": "smoke", "epochs": 1,
+        }))
+        output = tmp_path / "out"
+        code = main(["suite", "--spec", str(spec_path), "--jobs", "2",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suite 'cli-suite'" in out
+        assert "BPRMF" in out
+
+        assert (output / "suite_manifest.json").is_file()
+        assert (output / "tables" / "per_job.csv").is_file()
+        assert (output / "tables" / "aggregate.csv").is_file()
+        markdown = (output / "tables" / "aggregate.md").read_text()
+        assert markdown.startswith("# Suite cli-suite")
+        assert "| BPRMF |" in markdown
+        with open(output / "tables" / "aggregate.manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["experiment"] == "suite"
+        assert len(manifest["output"]["sha256"]) == 64
+
+        # Second invocation resumes from the completed artifacts.
+        code = main(["suite", "--spec", str(spec_path), "--jobs", "1",
+                     "--output", str(output)])
+        assert code == 0
+        assert "resumed from partial output: 1 job(s) skipped" in capsys.readouterr().out
+
+    def test_profile_and_epochs_apply_as_spec_overrides(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-override", "scenarios": ["game_video"],
+            "models": ["BPRMF"], "seeds": [0], "profile": "fast",
+        }))
+        code = main(["suite", "--spec", str(spec_path), "--profile", "smoke",
+                     "--epochs", "1", "--output", str(tmp_path / "out")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spec overrides from CLI flags" in out
+        assert "'profile': 'smoke'" in out
+        with open(tmp_path / "out" / "suite_manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["spec"]["profile"] == "smoke"
+        assert manifest["spec"]["epochs"] == 1
+
+    def test_jobs_must_be_positive(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["suite", "--jobs", "0"])
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_spec_errors_print_cleanly(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(["suite", "--spec", "no-such-spec"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "neither a built-in" in captured.err

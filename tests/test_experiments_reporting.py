@@ -5,10 +5,13 @@ import json
 import pytest
 
 from repro.experiments import (
+    format_mean_std,
     load_rows_csv,
     load_rows_json,
+    render_markdown_table,
     save_rows_csv,
     save_rows_json,
+    save_rows_markdown,
     summarize_by,
 )
 from repro.experiments.cli import EXPERIMENTS, build_parser, run_experiment, save_rows
@@ -66,6 +69,34 @@ class TestCsvRoundTrip:
         path = save_rows_csv(uneven, str(tmp_path / "out.csv"))
         loaded = load_rows_csv(path)
         assert "b" in loaded[1]
+
+
+class TestMarkdown:
+    def test_format_mean_std(self):
+        assert format_mean_std(12.345, 0.678) == "12.35±0.68"
+        assert format_mean_std(1.0, 0.0, digits=1) == "1.0±0.0"
+
+    def test_render_markdown_table(self, rows):
+        text = render_markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0] == "| method | direction | MRR | records |"
+        assert lines[1] == "| --- | --- | --- | --- |"
+        assert "| CDRIB | x->y | 12.50 | 20 |" in lines
+        assert render_markdown_table([]) == "(no rows)"
+
+    def test_markdown_union_of_columns_and_escaping(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x|y"}]
+        text = render_markdown_table(rows)
+        assert text.splitlines()[0] == "| a | b |"
+        assert "x\\|y" in text          # pipes escaped so cells don't split
+        assert "| 1 |  |" in text       # missing cells render empty
+
+    def test_save_rows_markdown(self, rows, tmp_path):
+        path = save_rows_markdown(rows, str(tmp_path / "t.md"),
+                                  columns=["method", "MRR"], title="Table")
+        text = open(path).read()
+        assert text.startswith("# Table\n\n| method | MRR |")
+        assert text.endswith("\n")
 
 
 class TestSummarize:

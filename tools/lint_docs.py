@@ -4,8 +4,9 @@
 Fails (exit code 1) if any public module under the given package directories
 lacks a module docstring, or if a public class / function / method defined
 there lacks a docstring.  "Public" means the name does not start with an
-underscore.  Used by the CI workflow to keep ``src/repro/serve/`` fully
-documented; run manually with::
+underscore.  Used by the CI workflow to keep the public subsystems —
+``repro.serve``, ``repro.io``, ``repro.experiments`` and ``repro.eval`` —
+fully documented; run manually with::
 
     python tools/lint_docs.py [dir ...]
 """
@@ -16,7 +17,12 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_TARGETS = ["src/repro/serve"]
+DEFAULT_TARGETS = [
+    "src/repro/serve",
+    "src/repro/io",
+    "src/repro/experiments",
+    "src/repro/eval",
+]
 
 
 def iter_public_defs(tree: ast.Module):
