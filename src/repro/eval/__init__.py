@@ -7,6 +7,7 @@ from .metrics import (
     hit_rate_at_k,
     ndcg_at_k,
     rank_of_positive,
+    recall_against_exact,
     reciprocal_rank,
 )
 from .protocol import (
@@ -26,6 +27,7 @@ __all__ = [
     "ndcg_at_k",
     "hit_rate_at_k",
     "rank_of_positive",
+    "recall_against_exact",
     "LeaveOneOutEvaluator",
     "DirectionResult",
     "EvaluationRecord",

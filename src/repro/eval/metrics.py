@@ -43,6 +43,36 @@ def hit_rate_at_k(rank: int, k: int) -> float:
     return 1.0 if rank <= k else 0.0
 
 
+def recall_against_exact(approx_items: np.ndarray,
+                         exact_items: np.ndarray) -> float:
+    """Mean per-row recall of an approximate top-K against the exact top-K.
+
+    Both arguments are (batch, k) item-id arrays as returned by
+    ``TopKIndex.top_k`` — ``exact_items`` from the brute-force backend,
+    ``approx_items`` from an approximate one (e.g. IVF).  Row ``i``
+    contributes ``|approx_i ∩ exact_i| / |exact_i|``; ``-1`` padding slots
+    (rows with fewer than ``k`` candidates) are ignored on both sides, and
+    rows whose exact list is entirely padding are skipped.  Returns a float
+    in [0, 1]; 1.0 means the approximate index surfaced every exact top-K
+    item (recall@k), the quantity gated by
+    ``benchmarks/test_ann_retrieval.py``.
+    """
+    approx = np.atleast_2d(np.asarray(approx_items, dtype=np.int64))
+    exact = np.atleast_2d(np.asarray(exact_items, dtype=np.int64))
+    if approx.shape[0] != exact.shape[0]:
+        raise ValueError(
+            f"row mismatch: approx has {approx.shape[0]} rows, "
+            f"exact has {exact.shape[0]}")
+    recalls = []
+    for row in range(exact.shape[0]):
+        truth = exact[row][exact[row] >= 0]
+        if truth.size == 0:
+            continue
+        found = approx[row][approx[row] >= 0]
+        recalls.append(np.isin(truth, found).mean())
+    return float(np.mean(recalls)) if recalls else 0.0
+
+
 def rank_of_positive(scores: np.ndarray, positive_index: int = 0,
                      tie_break: str = "pessimistic") -> int:
     """Rank (1-based) of ``scores[positive_index]`` within ``scores``.

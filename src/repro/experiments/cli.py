@@ -9,6 +9,9 @@ Usage (after installation)::
     python -m repro.experiments.cli serve --profile smoke --batch-sizes 1,64
     python -m repro.experiments.cli train --profile smoke --save runs/ckpt
     python -m repro.experiments.cli serve --checkpoint runs/ckpt --top-k 10
+    python -m repro.experiments.cli serve --checkpoint runs/ckpt \
+        --index ivf --nprobe 32 --index-dir runs/ivf-index
+    python -m repro.experiments.cli ann --num-items 60000
     repro suite --spec main-tables --jobs 4 --output runs/main
     repro suite --spec my_sweep.json --jobs 2
 
@@ -41,7 +44,10 @@ EXPERIMENTS: Dict[str, str] = {
     "figure5": "Figure 5 — Lagrangian multiplier sweep",
     "figure6": "Figure 6 — VBGE layer-count sweep",
     "serve": "Serving demo — batched cold-start throughput (repro.serve), "
-             "or top-K lists from a saved artifact with --checkpoint",
+             "or top-K lists from a saved artifact with --checkpoint; "
+             "--index ivf serves through the approximate IVF index",
+    "ann": "ANN retrieval benchmark — exact vs IVF top-K on a synthetic "
+           "catalogue (recall + queries/sec; repro.serve.ann)",
     "train": "Train CDRIB with durable checkpoints (--save) and bit-exact "
              "resume (--resume)",
     "suite": "Declarative sweep over scenarios x models x seeds with parallel "
@@ -90,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(serve only)")
     parser.add_argument("--num-users", type=int, default=8,
                         help="users to serve with --checkpoint (serve only)")
+    parser.add_argument("--index", default="exact", choices=("exact", "ivf"),
+                        dest="index_backend",
+                        help="retrieval backend for serve: brute-force exact "
+                             "search or the approximate IVF index (serve only)")
+    parser.add_argument("--nprobe", type=int, default=None, metavar="N",
+                        help="IVF cells probed per query; higher = better "
+                             "recall, slower (serve/ann, --index ivf)")
+    parser.add_argument("--index-dir", default=None, metavar="DIR",
+                        help="load the serving index from this checksummed "
+                             "artifact if it exists, else build and save it "
+                             "there (serve --checkpoint only)")
+    parser.add_argument("--num-items", type=int, default=200_000,
+                        help="synthetic catalogue size for the ann benchmark "
+                             "(ann only)")
     parser.add_argument("--spec", default="main-tables",
                         help="suite spec: a built-in name or a JSON file path "
                              "(suite only)")
@@ -112,13 +132,24 @@ def run_experiment(name: str, scenario: str, profile_name: Optional[str],
                    epochs: Optional[int] = None,
                    engine: str = "fused",
                    checkpoint: Optional[str] = None,
-                   num_users: int = 8) -> List[dict]:
+                   num_users: int = 8,
+                   index_backend: str = "exact",
+                   nprobe: Optional[int] = None,
+                   index_dir: Optional[str] = None,
+                   num_items: int = 200_000) -> List[dict]:
     """Dispatch one experiment by CLI name and return its result rows."""
     if name == "serve" and checkpoint is not None:
         # Artifact serving needs no profile: the checkpoint manifest's
         # provenance decides how the scenario is re-assembled.
         return runners.run_checkpoint_serving(checkpoint, top_k=top_k,
-                                              num_users=num_users)
+                                              num_users=num_users,
+                                              index_backend=index_backend,
+                                              nprobe=nprobe,
+                                              index_dir=index_dir)
+    if name == "ann":
+        # Pure retrieval benchmark on synthetic latents; no profile either.
+        return runners.run_ann_benchmark(num_items=num_items, top_k=top_k,
+                                         nprobe=nprobe)
     profile = get_profile(profile_name)
     if name == "train":
         return runners.run_training_job(
@@ -129,7 +160,9 @@ def run_experiment(name: str, scenario: str, profile_name: Optional[str],
     if name == "serve":
         return runners.run_serving_benchmark(
             scenario, batch_sizes=tuple(batch_sizes or (1, 32, 256)),
-            top_k=top_k, profile=profile,
+            top_k=top_k, profile=profile, index_backend=index_backend,
+            index_options=({"nprobe": nprobe} if nprobe is not None
+                           and index_backend == "ivf" else None),
         )
     if name == "table2":
         return runners.run_dataset_statistics(profile=profile)
@@ -194,6 +227,13 @@ def run_suite_command(spec_arg: str, output: Optional[str], jobs: int = 1,
     print(runners.format_rows(aggregated, columns=display_columns))
     print("\n(* = best model significantly better than the runner-up, "
           "paired t-test on reciprocal ranks, p < 0.05)")
+    ann_rows = result.ann_rows()
+    if ann_rows:
+        print("\nANN serving smoke (spec.ann_check — IVF recall vs exact "
+              "retrieval per trained CDRIB job):")
+        print(runners.format_rows(ann_rows, columns=[
+            "scenario", "model", "seed", "direction", "num_items",
+            "num_clusters", "nprobe", "k", "recall_vs_exact"]))
 
     tables_dir = os.path.join(output_dir, "tables")
     per_job = save_rows_csv(result.rows(), os.path.join(tables_dir, "per_job.csv"))
@@ -241,6 +281,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--epochs must be >= 1, got {args.epochs}")
     if args.num_users < 1:
         parser.error(f"--num-users must be >= 1, got {args.num_users}")
+    if args.nprobe is not None and args.nprobe < 1:
+        parser.error(f"--nprobe must be >= 1, got {args.nprobe}")
+    if args.num_items < 1:
+        parser.error(f"--num-items must be >= 1, got {args.num_items}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.experiment == "suite":
@@ -263,7 +307,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                           save_path=args.save, resume_path=args.resume,
                           checkpoint_dir=args.checkpoint_dir,
                           epochs=args.epochs, engine=args.engine,
-                          checkpoint=args.checkpoint, num_users=args.num_users)
+                          checkpoint=args.checkpoint, num_users=args.num_users,
+                          index_backend=args.index_backend, nprobe=args.nprobe,
+                          index_dir=args.index_dir, num_items=args.num_items)
     print(runners.format_rows(rows))
     if args.save:
         print(f"\nsaved checkpoint to {args.save}")

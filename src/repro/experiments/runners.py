@@ -15,6 +15,7 @@ Table IX (interaction #)     :func:`run_interaction_groups`
 Figure 5 (beta sweep)        :func:`run_beta_sweep`
 Figure 6 (layer count)       :func:`run_layer_sweep`
 Serving throughput (extra)   :func:`run_serving_benchmark`
+ANN retrieval (extra)        :func:`run_ann_benchmark`
 ===========================  ==========================================
 """
 
@@ -22,8 +23,9 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -215,21 +217,64 @@ def load_cdrib_checkpoint(path: str):
 
 def run_checkpoint_serving(checkpoint_path: str, top_k: int = 10,
                            users: Optional[Sequence[int]] = None,
-                           num_users: int = 8) -> List[ROW]:
+                           num_users: int = 8,
+                           index_backend: str = "exact",
+                           nprobe: Optional[int] = None,
+                           index_dir: Optional[str] = None) -> List[ROW]:
     """Serve top-K lists from a saved checkpoint (``serve --checkpoint``).
 
     Builds a :class:`~repro.serve.ColdStartServer` for the X -> Y direction
     from the artifact alone and serves a deterministic user set (the first
-    ``num_users`` test cold-start users unless ``users`` is given).  The
-    lists are bit-identical to a server built from the live trained model —
-    the whole point of the checkpoint subsystem.
+    ``num_users`` test cold-start users unless ``users`` is given).  With the
+    default exact backend the lists are bit-identical to a server built from
+    the live trained model — the whole point of the checkpoint subsystem.
+
+    ``index_backend="ivf"`` serves through the approximate index instead
+    (``nprobe`` optionally overrides its probe budget; it is ignored for
+    exact search, which has no tunables).  ``index_dir`` makes the *index
+    itself* a durable artifact: when the directory holds an index
+    checkpoint it is loaded (checksum-validated, k-means not re-run) and
+    verified against the checkpoint's own item latents — a stale artifact
+    from an older training run refuses to serve; otherwise the freshly
+    built index is saved there, so the next invocation round-trips through
+    the exact same index structure.
     """
-    from ..serve import ColdStartServer
+    from ..io import CheckpointError
+    from ..serve import ColdStartServer, load_index, save_index
 
     model, checkpoint = load_cdrib_checkpoint(checkpoint_path)
     scenario = model.scenario
     split = scenario.x_to_y
-    server = ColdStartServer(model, split.source, split.target, top_k=top_k)
+    # nprobe only means something to the IVF backend; exact search has no
+    # tunables (same guard as the live-serve CLI path).
+    index_options = ({"nprobe": int(nprobe)}
+                     if nprobe is not None and index_backend == "ivf" else {})
+    prebuilt = None
+    if index_dir is not None and os.path.isdir(index_dir):
+        prebuilt = load_index(index_dir)
+        if prebuilt.backend != index_backend:
+            raise CheckpointError(
+                f"index checkpoint {index_dir!r} holds backend "
+                f"{prebuilt.backend!r}, but --index {index_backend!r} was "
+                f"requested")
+        if nprobe is not None and prebuilt.backend == "ivf":
+            prebuilt.nprobe = int(nprobe)
+    try:
+        server = ColdStartServer(model, split.source, split.target,
+                                 top_k=top_k, index_backend=index_backend,
+                                 index_options=index_options, index=prebuilt)
+    except ValueError as error:
+        # The server validates a prebuilt index against the model's own item
+        # latents (catalogue size + content); translate a rejection into the
+        # artifact-layer error with the path the operator needs.
+        if prebuilt is None:
+            raise
+        raise CheckpointError(
+            f"index checkpoint {index_dir!r} does not match checkpoint "
+            f"{checkpoint_path!r} ({error}); delete the index directory to "
+            f"rebuild it") from error
+    if index_dir is not None and prebuilt is None:
+        save_index(index_dir, server.index)
     if users is None:
         pool = [int(user.source_user) for user in split.test]
         if not pool:
@@ -241,6 +286,7 @@ def run_checkpoint_serving(checkpoint_path: str, top_k: int = 10,
         rows.append({
             "checkpoint": checkpoint_path,
             "direction": f"{split.source}->{split.target}",
+            "index": index_backend,
             "user": rec.user,
             "items": [int(item) for item in rec.items],
             "scores": [float(score) for score in rec.scores],
@@ -514,7 +560,10 @@ def run_serving_benchmark(scenario_name: str,
                           top_k: int = 10,
                           total_users: int = 256,
                           profile: Optional[ExperimentProfile] = None,
-                          train_epochs: int = 3) -> List[ROW]:
+                          train_epochs: int = 3,
+                          index_backend: str = "exact",
+                          index_options: Optional[Dict[str, object]] = None
+                          ) -> List[ROW]:
     """Measure batched cold-start serving throughput (``repro.serve``).
 
     Trains a small CDRIB checkpoint, builds a :class:`~repro.serve.ColdStartServer`
@@ -522,6 +571,9 @@ def run_serving_benchmark(scenario_name: str,
     replacement, mimicking skewed production traffic) at each batch size with
     the user-latent cache disabled, so the measured effect is pure batching.
     A final row re-serves the same traffic with the LRU cache enabled.
+    ``index_backend`` / ``index_options`` select the retrieval backend
+    (``"exact"`` or ``"ivf"``); pure index-side throughput at catalogue
+    scale is measured separately by :func:`run_ann_benchmark`.
 
     Returns one row per configuration with users/sec and the speedup relative
     to the *first* batch size (per-user serving with the default sizes).
@@ -544,7 +596,9 @@ def run_serving_benchmark(scenario_name: str,
     base_rate: Optional[float] = None
     for batch_size in batch_sizes:
         server = ColdStartServer(trainer.model, split.source, split.target,
-                                 top_k=top_k, cache_capacity=0)
+                                 top_k=top_k, cache_capacity=0,
+                                 index_backend=index_backend,
+                                 index_options=index_options)
         server.recommend(users[:1])  # warm the normalised-adjacency caches
         start = time.perf_counter()
         for begin in range(0, total_users, batch_size):
@@ -557,6 +611,7 @@ def run_serving_benchmark(scenario_name: str,
             "scenario": scenario_name,
             "direction": f"{split.source}->{split.target}",
             "mode": "batched",
+            "index": index_backend,
             "batch_size": batch_size,
             "users_served": total_users,
             "users_per_sec": rate,
@@ -565,7 +620,9 @@ def run_serving_benchmark(scenario_name: str,
 
     # Cache demo: identical traffic, warm LRU — lookups instead of encodes.
     cached_server = ColdStartServer(trainer.model, split.source, split.target,
-                                    top_k=top_k, cache_capacity=num_source_users)
+                                    top_k=top_k, cache_capacity=num_source_users,
+                                    index_backend=index_backend,
+                                    index_options=index_options)
     cached_server.recommend(users)  # populate
     start = time.perf_counter()
     cached_server.recommend(users)
@@ -575,11 +632,111 @@ def run_serving_benchmark(scenario_name: str,
         "scenario": scenario_name,
         "direction": f"{split.source}->{split.target}",
         "mode": "lru_cached",
+        "index": index_backend,
         "batch_size": total_users,
         "users_served": total_users,
         "users_per_sec": rate,
         "speedup_vs_single": rate / base_rate if base_rate else float("inf"),
     })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# ANN retrieval benchmark (repro.serve.ann)
+# --------------------------------------------------------------------------- #
+def make_synthetic_catalog(num_items: int, dim: int, seed: int = 0,
+                           num_centers: int = 512, noise: float = 0.25,
+                           num_queries: int = 256
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded (catalog, queries) latents mimicking a trained model's geometry.
+
+    Trained recommendation latents are not isotropic Gaussian noise — items
+    concentrate around taste clusters and user queries point at those same
+    clusters.  The generator therefore draws ``num_centers`` cluster centers
+    and scatters items (and queries) around them; ``noise`` controls how
+    blurred the cluster structure is (higher = harder for IVF).
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_centers, dim))
+    catalog = (centers[rng.integers(0, num_centers, size=num_items)]
+               + noise * rng.standard_normal((num_items, dim)))
+    queries = (centers[rng.integers(0, num_centers, size=num_queries)]
+               + noise * rng.standard_normal((num_queries, dim)))
+    return catalog, queries
+
+
+def run_ann_benchmark(num_items: int = 200_000, dim: int = 64,
+                      top_k: int = 10, num_queries: int = 256,
+                      batch_size: int = 64, seed: int = 0,
+                      num_clusters: Optional[int] = None,
+                      nprobe: Optional[int] = None,
+                      noise: float = 0.25, repeats: int = 3) -> List[ROW]:
+    """Exact vs. IVF retrieval on a catalogue-scale synthetic item set.
+
+    Builds both backends over the same ``num_items``-item synthetic catalog
+    (:func:`make_synthetic_catalog`), serves the same query stream through
+    each in batches of ``batch_size``, and reports per-backend build time,
+    queries/sec, speedup over exact search and recall@``top_k`` against the
+    exact lists (:func:`repro.eval.recall_against_exact`; 1.0 for the exact
+    backend by construction).  Each backend's query sweep runs ``repeats``
+    times and the rate comes from the *fastest* sweep — standard
+    microbenchmark practice (ambient load only ever slows a sweep down),
+    shared with :func:`run_training_benchmark`.  ``num_clusters`` /
+    ``nprobe`` of ``None`` use the IVF defaults — the configuration gated by
+    ``benchmarks/test_ann_retrieval.py`` (≥5x throughput, recall@10 ≥ 0.95
+    at 200k+ items).
+    """
+    from ..eval import recall_against_exact
+    from ..serve import make_index
+
+    if num_items < 1 or num_queries < 1 or batch_size < 1 or top_k < 1:
+        raise ValueError("num_items, num_queries, batch_size and top_k must "
+                         "all be >= 1")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    catalog, queries = make_synthetic_catalog(num_items, dim, seed=seed,
+                                              noise=noise,
+                                              num_queries=num_queries)
+
+    options: Dict[str, Dict[str, object]] = {"exact": {}, "ivf": {}}
+    if num_clusters is not None:
+        options["ivf"]["num_clusters"] = int(num_clusters)
+    if nprobe is not None:
+        options["ivf"]["nprobe"] = int(nprobe)
+
+    rows: List[ROW] = []
+    results: Dict[str, np.ndarray] = {}
+    exact_rate: Optional[float] = None
+    for backend in ("exact", "ivf"):
+        start = time.perf_counter()
+        index = make_index(catalog, backend=backend, **options[backend])
+        build_seconds = time.perf_counter() - start
+        index.top_k(queries[:batch_size], top_k)  # warm-up (BLAS threads)
+        best = float("inf")
+        for _ in range(repeats):
+            item_lists = []
+            start = time.perf_counter()
+            for begin in range(0, num_queries, batch_size):
+                items, _ = index.top_k(queries[begin:begin + batch_size], top_k)
+                item_lists.append(items)
+            best = min(best, time.perf_counter() - start)
+        results[backend] = np.concatenate(item_lists)
+        rate = num_queries / best if best > 0 else float("inf")
+        if backend == "exact":
+            exact_rate = rate
+        rows.append({
+            "backend": backend,
+            "num_items": num_items,
+            "dim": dim,
+            "top_k": top_k,
+            "num_clusters": getattr(index, "num_clusters", ""),
+            "nprobe": getattr(index, "nprobe", ""),
+            "build_seconds": build_seconds,
+            "queries_per_sec": rate,
+            "speedup_vs_exact": rate / exact_rate if exact_rate else float("inf"),
+            "recall_at_k": recall_against_exact(results[backend],
+                                                results["exact"]),
+        })
     return rows
 
 

@@ -101,6 +101,12 @@ class SuiteSpec:
     engine: str = "fused"
     epochs: Optional[int] = None
     description: str = ""
+    #: When true, every CDRIB job additionally builds exact + IVF retrieval
+    #: indexes over its trained target catalogue and records the IVF
+    #: recall@10 against exact search in its result payload (an "ann" row;
+    #: see :meth:`SuiteResult.ann_rows`).  A serving-stack smoke wired into
+    #: the grid — it never changes the job's metrics.
+    ann_check: bool = False
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "SuiteSpec":
@@ -123,6 +129,7 @@ class SuiteSpec:
             engine=str(raw.get("engine", "fused")),
             epochs=(None if raw.get("epochs") is None else int(raw["epochs"])),
             description=str(raw.get("description", "")),
+            ann_check=raw.get("ann_check", False),
         )
         spec.validate()
         return spec
@@ -138,6 +145,7 @@ class SuiteSpec:
             "engine": self.engine,
             "epochs": self.epochs,
             "description": self.description,
+            "ann_check": self.ann_check,
         }
 
     def validate(self) -> None:
@@ -173,6 +181,9 @@ class SuiteSpec:
                 f"unknown engine {self.engine!r}; available: {TRAINER_ENGINES}")
         if self.epochs is not None and self.epochs < 1:
             raise SuiteSpecError(f"epochs must be >= 1, got {self.epochs}")
+        if not isinstance(self.ann_check, bool):
+            raise SuiteSpecError(
+                f"ann_check must be a boolean, got {self.ann_check!r}")
 
 
 @dataclass(frozen=True)
@@ -190,6 +201,7 @@ class JobSpec:
     profile: str
     engine: str
     epochs: Optional[int]
+    ann_check: bool = False
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "JobSpec":
@@ -197,13 +209,15 @@ class JobSpec:
         return cls(key=str(raw["key"]), scenario=str(raw["scenario"]),
                    model=str(raw["model"]), seed=int(raw["seed"]),
                    profile=str(raw["profile"]), engine=str(raw["engine"]),
-                   epochs=(None if raw.get("epochs") is None else int(raw["epochs"])))
+                   epochs=(None if raw.get("epochs") is None else int(raw["epochs"])),
+                   ann_check=bool(raw.get("ann_check", False)))
 
     def to_dict(self) -> Dict[str, object]:
         """The job's canonical dict form (stored in every result artifact)."""
         return {"key": self.key, "scenario": self.scenario, "model": self.model,
                 "seed": self.seed, "profile": self.profile,
-                "engine": self.engine, "epochs": self.epochs}
+                "engine": self.engine, "epochs": self.epochs,
+                "ann_check": self.ann_check}
 
 
 def parse_model(name: str) -> Tuple[str, str]:
@@ -264,7 +278,8 @@ def expand_jobs(spec: SuiteSpec) -> List[JobSpec]:
                 seen[key] = model
                 jobs.append(JobSpec(key=key, scenario=scenario, model=model,
                                     seed=seed, profile=spec.profile,
-                                    engine=spec.engine, epochs=spec.epochs))
+                                    engine=spec.engine, epochs=spec.epochs,
+                                    ann_check=spec.ann_check))
     return jobs
 
 
@@ -289,6 +304,8 @@ BUILTIN_SPECS: Dict[str, Dict[str, object]] = {
         "profile": "smoke",
     },
     # A CI-sized slice of the above: one scenario, one model per family.
+    # ann_check additionally smokes the IVF serving path on every trained
+    # CDRIB cell (see SuiteResult.ann_rows).
     "main-tables-smoke": {
         "name": "main-tables-smoke",
         "description": "CI slice of the Tables III-VI comparison: one scenario, "
@@ -297,6 +314,7 @@ BUILTIN_SPECS: Dict[str, Dict[str, object]] = {
         "models": ["BPRMF", "PPGN", "EMCDR(BPRMF)", "SA-VAE", "CDRIB"],
         "seeds": [0, 1],
         "profile": "smoke",
+        "ann_check": True,
     },
     # Table VII: the paper's two degenerate variants against full CDRIB.
     "ablation": {
@@ -364,6 +382,7 @@ def run_suite_job(job: JobSpec, artifact_dir: Optional[str] = None) -> Dict[str,
                       if artifact_dir else None)
 
     history: List[ROW] = []
+    ann_row: Optional[ROW] = None
     if kind == "cdrib":
         config = make_ablation_config(profile.cdrib, detail)
         if job.epochs is not None:
@@ -375,6 +394,8 @@ def run_suite_job(job: JobSpec, artifact_dir: Optional[str] = None) -> Dict[str,
         )
         scorer_factory = trainer.make_scorer
         history = [{"epoch": log.epoch, "loss": log.loss} for log in result.history]
+        if job.ann_check:
+            ann_row = _ann_check_row(trainer.model, scenario, job)
     else:
         model = make_baseline(job.model, profile.baseline)
         model.fit(scenario)
@@ -402,12 +423,56 @@ def run_suite_job(job: JobSpec, artifact_dir: Optional[str] = None) -> Dict[str,
         rows.append(row)
         reciprocal_ranks[direction] = [float(r) for r in result.reciprocal_ranks()]
 
-    return {
+    payload: Dict[str, object] = {
         "job": job.to_dict(),
         "rows": rows,
         "reciprocal_ranks": reciprocal_ranks,
         "history": history,
         "checkpoint": os.path.basename(checkpoint_path) if checkpoint_path else None,
+    }
+    if ann_row is not None:
+        payload["ann"] = ann_row
+    return payload
+
+
+def _ann_check_row(model, scenario, job: JobSpec) -> ROW:
+    """Serving-stack smoke for one trained CDRIB job (``spec.ann_check``).
+
+    Builds both retrieval backends over the job's trained X→Y target
+    catalogue, serves the test cold-start users through each, and reports
+    the IVF recall@10 against the exact lists.  Probes a quarter of the
+    cells — smoke-profile catalogues are tiny, so the row documents that the
+    approximate path works end to end, not production recall (that is
+    ``benchmarks/test_ann_retrieval.py``'s job).  Deterministic given the
+    job spec, so parallel suites stay bit-identical to serial ones.
+    """
+    from ..eval import recall_against_exact
+    from ..serve import build_index
+
+    split = scenario.x_to_y
+    users = sorted({int(user.source_user) for user in split.test})[:32]
+    if not users:
+        users = list(range(min(8, scenario.domain(split.source).num_users)))
+    latents = model.encode_users_batch(split.source, np.asarray(users, dtype=np.int64))
+
+    exact = build_index(model, split.target, backend="exact")
+    ivf = build_index(model, split.target, backend="ivf", seed=job.seed)
+    ivf.nprobe = max(ivf.nprobe, max(1, ivf.num_clusters // 4))
+    k = min(10, exact.num_items)
+    exact_items, _ = exact.top_k(latents, k)
+    ivf_items, _ = ivf.top_k(latents, k)
+    return {
+        "scenario": job.scenario,
+        "model": job.model,
+        "seed": job.seed,
+        "direction": f"{split.source}->{split.target}",
+        "backend": "ivf",
+        "num_items": exact.num_items,
+        "num_clusters": ivf.num_clusters,
+        "nprobe": ivf.nprobe,
+        "users": len(users),
+        "k": k,
+        "recall_vs_exact": recall_against_exact(ivf_items, exact_items),
     }
 
 
@@ -495,6 +560,16 @@ class SuiteResult:
         for payload in self.payloads:
             rows.extend(payload["rows"])
         return rows
+
+    def ann_rows(self) -> List[ROW]:
+        """The per-job ANN serving-smoke rows (``spec.ann_check`` jobs only).
+
+        One row per CDRIB job when the spec enabled ``ann_check``: the IVF
+        recall against exact retrieval on that job's trained catalogue.
+        Empty for specs without the check.
+        """
+        return [dict(payload["ann"]) for payload in self.payloads
+                if "ann" in payload]
 
     def aggregate(self, metrics: Sequence[str] = ("MRR", "NDCG@10", "HR@10"),
                   alpha: float = 0.05) -> List[ROW]:

@@ -57,6 +57,7 @@ class BipartiteGraph:
     # ------------------------------------------------------------------ #
     @property
     def num_edges(self) -> int:
+        """Number of unique user-item interactions in the graph."""
         return int(self.edges.shape[0])
 
     @property

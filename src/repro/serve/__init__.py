@@ -4,24 +4,56 @@ This package turns the reproduction's inference scheme — encode a cold-start
 user with the source-domain VBGE, score against target-domain item latents —
 into a batched serving subsystem:
 
-* :class:`ItemIndex` — target-domain item latents, precomputed once per
-  checkpoint, with exact-tie top-K retrieval via partial sort.
+* :class:`TopKIndex` — the retrieval protocol every backend implements.
+* :class:`ItemIndex` — the ``"exact"`` backend: target-domain item latents,
+  precomputed once per checkpoint, with exact-tie top-K retrieval via
+  partial sort.
+* :class:`IVFIndex` — the ``"ivf"`` backend: inverted-file approximate
+  retrieval (k-means coarse quantizer, cluster-major storage,
+  ``nprobe``-controlled probing, exact re-ranking of candidates) for
+  catalogue scales where brute force caps throughput.
 * :class:`ColdStartServer` — batched user encoding (one no-grad VBGE pass per
-  request batch) with an LRU user-latent cache.
+  request batch) with an LRU user-latent cache and a pluggable index
+  (``index_backend="exact" | "ivf"``).
 * :class:`RequestBatcher` — micro-batching queue for streaming workloads.
 * :class:`LRUCache` — the bounded cache primitive.
+* :func:`make_index` / :func:`build_index` / :func:`save_index` /
+  :func:`load_index` — the backend registry and checksummed on-disk index
+  artifacts (:mod:`repro.io` checkpoints).
 
-Served top-K lists are identical to a brute-force stable full ranking of the
-catalogue, including score ties; see ``tests/test_serve.py``.
+Served top-K lists from the exact backend are identical to a brute-force
+stable full ranking of the catalogue, including score ties; the IVF backend
+surfaces a measured-recall subset but scores it with the same inner product
+(see ``tests/test_serve.py``, ``tests/test_serve_ann.py`` and
+``docs/SERVING.md``).
 """
 
+from .ann import (
+    INDEX_BACKENDS,
+    IVFIndex,
+    build_index,
+    kmeans_quantizer,
+    load_index,
+    make_index,
+    register_index_backend,
+    save_index,
+)
 from .batching import PendingRequest, RequestBatcher
 from .cache import LRUCache
-from .item_index import ItemIndex, brute_force_ranking
+from .item_index import ItemIndex, TopKIndex, brute_force_ranking
 from .server import ColdStartServer, Recommendation, ServerStats
 
 __all__ = [
+    "TopKIndex",
     "ItemIndex",
+    "IVFIndex",
+    "INDEX_BACKENDS",
+    "register_index_backend",
+    "make_index",
+    "build_index",
+    "save_index",
+    "load_index",
+    "kmeans_quantizer",
     "brute_force_ranking",
     "LRUCache",
     "ColdStartServer",

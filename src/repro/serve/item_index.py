@@ -13,6 +13,11 @@ broken by ascending item index, which is precisely the order produced by a
 brute-force stable full ranking.  The partial sort selects the boundary
 items explicitly, so a score tie that straddles the K-th position never
 depends on ``argpartition``'s arbitrary internal ordering.
+
+Retrieval is *pluggable*: :class:`ItemIndex` is the ``"exact"`` reference
+implementation of the :class:`TopKIndex` protocol; the approximate IVF
+backend (``"ivf"``) and the backend registry live in
+:mod:`repro.serve.ann`.
 """
 
 from __future__ import annotations
@@ -21,7 +26,57 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+try:  # Python >= 3.8
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - typing_extensions fallback unused
+    Protocol = object
+
+    def runtime_checkable(cls):
+        """Identity decorator when typing.Protocol is unavailable."""
+        return cls
+
 from ..core.cdrib import CDRIB
+
+
+@runtime_checkable
+class TopKIndex(Protocol):
+    """Structural protocol every retrieval backend implements.
+
+    A backend owns one domain's item-latent catalogue and answers batched
+    top-K queries against it.  ``ItemIndex`` (``backend="exact"``) is the
+    brute-force reference; approximate backends (e.g. the IVF index in
+    :mod:`repro.serve.ann`) may return a different *set* of items, but the
+    scores of every item they surface must come from the same inner product
+    over the same latents, and rows must be ordered by descending score with
+    ties broken by ascending item index — so downstream consumers
+    (:class:`~repro.serve.ColdStartServer`, the evaluation scorer bridge)
+    never need to know which backend is plugged in.
+    """
+
+    #: Registry name of the backend (``"exact"``, ``"ivf"``, ...).
+    backend: str
+    #: Item latents in catalogue order, shape (num_items, dim).
+    item_latents: np.ndarray
+    #: Domain the catalogue belongs to (bookkeeping only).
+    domain: str
+
+    @property
+    def num_items(self) -> int:
+        """Number of items in the catalogue."""
+
+    @property
+    def dim(self) -> int:
+        """Latent dimensionality."""
+
+    def build_options(self) -> dict:
+        """The constructor options needed to rebuild an equivalent index."""
+
+    def scores(self, user_latents: np.ndarray) -> np.ndarray:
+        """Exact inner-product scores of shape (batch, num_items)."""
+
+    def top_k(self, user_latents: np.ndarray, k: int,
+              exclude: Optional[list] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(items, scores)`` per user, padded with -1/-inf."""
 
 
 class ItemIndex:
@@ -35,17 +90,10 @@ class ItemIndex:
         Name of the domain the items belong to (bookkeeping only).
     """
 
+    backend = "exact"
+
     def __init__(self, item_latents: np.ndarray, domain: str = ""):
-        # Preserve the model's floating dtype: force-casting float32 latents
-        # to float64 would silently double the index's resident memory.
-        # Non-float inputs (e.g. integer test fixtures) still become float64.
-        latents = np.asarray(item_latents)
-        if not np.issubdtype(latents.dtype, np.floating):
-            latents = latents.astype(np.float64)
-        latents = np.ascontiguousarray(latents)
-        if latents.ndim != 2:
-            raise ValueError(f"item_latents must be 2-D, got shape {latents.shape}")
-        self.item_latents = latents
+        self.item_latents = prepare_item_latents(item_latents)
         self.domain = domain
 
     @classmethod
@@ -62,6 +110,10 @@ class ItemIndex:
     def dim(self) -> int:
         """Latent dimensionality."""
         return int(self.item_latents.shape[1])
+
+    def build_options(self) -> dict:
+        """Exact search has no tunables; rebuilds need only the latents."""
+        return {}
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -125,6 +177,23 @@ class ItemIndex:
             items[row] = top_items
             scores[row] = top_scores
         return items, scores
+
+
+def prepare_item_latents(item_latents: np.ndarray) -> np.ndarray:
+    """Normalise a catalogue latent matrix for indexing (shared by backends).
+
+    Preserves the model's floating dtype: force-casting float32 latents to
+    float64 would silently double the index's resident memory.  Non-float
+    inputs (e.g. integer test fixtures) still become float64, and the result
+    is always a C-contiguous 2-D array.
+    """
+    latents = np.asarray(item_latents)
+    if not np.issubdtype(latents.dtype, np.floating):
+        latents = latents.astype(np.float64)
+    latents = np.ascontiguousarray(latents)
+    if latents.ndim != 2:
+        raise ValueError(f"item_latents must be 2-D, got shape {latents.shape}")
+    return latents
 
 
 def _exact_top_k(scores: np.ndarray, k: int) -> np.ndarray:

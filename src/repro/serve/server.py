@@ -27,8 +27,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.cdrib import CDRIB
+from .ann import build_index
 from .cache import LRUCache
-from .item_index import ItemIndex
+from .item_index import TopKIndex
 
 
 @dataclass
@@ -47,9 +48,21 @@ class Recommendation:
 class ServerStats:
     """Cumulative serving counters (exposed for monitoring/benchmarks).
 
-    Cache hit/miss counts live on the server's :class:`~repro.serve.LRUCache`
-    (``server.cache.hits`` / ``server.cache.hit_rate``) — the cache is the
-    single source of truth for them.
+    The contract (pinned by ``tests/test_serve.py``):
+
+    * ``requests`` counts vectorized :meth:`ColdStartServer.recommend`
+      calls.  A :class:`~repro.serve.RequestBatcher` flush issues one such
+      call *per distinct* ``k`` in the flushed queue, so ``requests`` can
+      exceed ``batcher.batches_flushed`` for mixed-``k`` traffic.
+    * ``users_served`` counts request slots (duplicates included);
+      ``users_encoded`` counts *unique* users that went through the VBGE
+      encoder (duplicates within a batch are encoded once).
+    * Cache hit/miss counts live on the server's
+      :class:`~repro.serve.LRUCache` (``server.cache.hits`` /
+      ``server.cache.hit_rate``) — the cache is the single source of truth
+      for them, and it counts per *lookup*: every occurrence of a not-yet-
+      cached user in a batch counts as its own miss, even though the batch
+      encodes that user only once.
     """
 
     requests: int = 0
@@ -76,17 +89,56 @@ class ColdStartServer:
         training are removed from the candidates.  (For genuine cold-start
         users the target-domain history is empty by construction, so this
         mainly matters for in-domain serving.)
+    index_backend:
+        Retrieval backend name from the :mod:`repro.serve.ann` registry:
+        ``"exact"`` (default, brute force) or ``"ivf"`` (approximate,
+        catalogue-scale).
+    index_options:
+        Backend constructor options (e.g. ``{"nprobe": 32}`` for IVF).
+    index:
+        A prebuilt :class:`~repro.serve.TopKIndex` (e.g. loaded with
+        :func:`repro.serve.load_index`) to serve from instead of encoding
+        the catalogue; must match the target domain's catalogue size.
     """
 
     def __init__(self, model: CDRIB, source: str, target: str,
                  top_k: int = 10, cache_capacity: int = 10000,
-                 exclude_seen: bool = False):
+                 exclude_seen: bool = False, index_backend: str = "exact",
+                 index_options: Optional[dict] = None,
+                 index: Optional[TopKIndex] = None):
         self.model = model
         self.source = source
         self.target = target
         self.top_k = int(top_k)
         self.exclude_seen = bool(exclude_seen)
-        self.index = ItemIndex.build(model, target)
+        if index is not None:
+            expected = model._domain_parts(target)[3].num_items
+            if index.num_items != expected:
+                raise ValueError(
+                    f"prebuilt index holds {index.num_items} items but target "
+                    f"domain {target!r} has {expected}")
+            # Size alone cannot tell a stale artifact (e.g. saved from an
+            # older checkpoint of the same scenario) from the right one:
+            # compare against the model's own item latents.  One no-grad
+            # encode pass at construction — cheap next to the k-means build
+            # the prebuilt index skips, and it turns silently-wrong top-K
+            # lists into a loud error.
+            current = model.encode_items(target)
+            if (index.item_latents.shape != current.shape
+                    or not np.allclose(index.item_latents, current,
+                                       rtol=1e-6, atol=1e-8)):
+                raise ValueError(
+                    f"prebuilt index was built from different item latents "
+                    f"than this model encodes for domain {target!r}; "
+                    f"rebuild the index from this checkpoint")
+            self.index = index
+            self._index_backend = index.backend
+            self._index_options = index.build_options()
+        else:
+            self._index_backend = index_backend
+            self._index_options = dict(index_options or {})
+            self.index = build_index(model, target, backend=index_backend,
+                                     **self._index_options)
         self.cache = LRUCache(cache_capacity)
         self.stats = ServerStats()
         self._source_graph = model._domain_parts(source)[3]
@@ -130,9 +182,13 @@ class ColdStartServer:
         """Rebuild the item index and drop cached user latents.
 
         Call after the model checkpoint changes (e.g. between training
-        epochs in an online-learning loop).
+        epochs in an online-learning loop).  The rebuilt index keeps the
+        server's retrieval backend and build options — an IVF server stays
+        an IVF server (its quantizer is re-trained on the fresh latents).
         """
-        self.index = ItemIndex.build(self.model, self.target)
+        self.index = build_index(self.model, self.target,
+                                 backend=self._index_backend,
+                                 **self._index_options)
         self.cache.clear()
 
     # ------------------------------------------------------------------ #
@@ -177,4 +233,4 @@ class ColdStartServer:
     def __repr__(self) -> str:
         return (f"ColdStartServer({self.source}->{self.target}, "
                 f"items={self.index.num_items}, top_k={self.top_k}, "
-                f"cache={self.cache!r})")
+                f"index={self._index_backend!r}, cache={self.cache!r})")

@@ -10,6 +10,7 @@ from repro.eval import (
     hit_rate_at_k,
     ndcg_at_k,
     rank_of_positive,
+    recall_against_exact,
     reciprocal_rank,
 )
 
@@ -106,3 +107,45 @@ class TestAggregation:
     def test_property_mrr_at_least_hr1(self, ranks):
         metrics = aggregate_ranks(ranks)
         assert metrics.mrr >= metrics.hit_rate[1] - 1e-12
+
+
+class TestRecallAgainstExact:
+    """recall_against_exact: the ANN retrieval quality metric."""
+
+    def test_perfect_recall(self):
+        exact = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_against_exact(exact, exact) == 1.0
+        # Order within a row does not matter — recall is a set quantity.
+        assert recall_against_exact(np.array([[3, 1, 2], [6, 4, 5]]), exact) == 1.0
+
+    def test_partial_recall_hand_computed(self):
+        exact = np.array([[1, 2, 3, 4], [10, 11, 12, 13]])
+        approx = np.array([[1, 2, 99, 98], [10, 11, 12, 13]])
+        # Row recalls: 2/4 and 4/4 -> mean 0.75.
+        assert recall_against_exact(approx, exact) == pytest.approx(0.75)
+
+    def test_zero_overlap(self):
+        assert recall_against_exact(np.array([[7, 8]]), np.array([[1, 2]])) == 0.0
+
+    def test_padding_ignored_on_both_sides(self):
+        # -1 slots (fewer-than-k candidates) are neither truth nor findings.
+        exact = np.array([[1, 2, -1, -1]])
+        approx = np.array([[2, 1, -1, -1]])
+        assert recall_against_exact(approx, exact) == 1.0
+        # A padded approx row that missed one of two exact items: 0.5.
+        assert recall_against_exact(np.array([[1, -1, -1, -1]]), exact) == 0.5
+
+    def test_all_padding_rows_are_skipped(self):
+        exact = np.array([[1, 2], [-1, -1]])
+        approx = np.array([[1, 2], [-1, -1]])
+        assert recall_against_exact(approx, exact) == 1.0
+        # Nothing but padding anywhere -> defined as 0.0, not NaN.
+        assert recall_against_exact(np.array([[-1]]), np.array([[-1]])) == 0.0
+
+    def test_one_dim_inputs_promote_to_single_row(self):
+        assert recall_against_exact(np.array([1, 2, 3]),
+                                    np.array([3, 2, 9])) == pytest.approx(2 / 3)
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            recall_against_exact(np.zeros((2, 3)), np.zeros((3, 3)))

@@ -358,3 +358,50 @@ class TestAggregation:
             by_direction.setdefault(row["direction"], []).append(row)
         for rows in by_direction.values():
             assert all(row["sig"] == "" for row in rows[1:])
+
+
+# --------------------------------------------------------------------------- #
+# ANN serving smoke (spec.ann_check)
+# --------------------------------------------------------------------------- #
+class TestAnnCheck:
+    def test_ann_check_must_be_boolean(self):
+        with pytest.raises(SuiteSpecError, match="ann_check"):
+            make_spec(ann_check="yes")
+
+    def test_ann_check_round_trips_and_changes_hash(self):
+        spec = make_spec(ann_check=True)
+        assert SuiteSpec.from_dict(spec.to_dict()) == spec
+        assert spec_sha256(spec) != spec_sha256(make_spec())
+
+    def test_jobs_inherit_ann_check(self):
+        jobs = expand_jobs(make_spec(ann_check=True))
+        assert all(job.ann_check for job in jobs)
+        assert JobSpec.from_dict(jobs[0].to_dict()) == jobs[0]
+
+    def test_smoke_builtin_spec_enables_ann_check(self):
+        assert BUILTIN_SPECS["main-tables-smoke"]["ann_check"] is True
+        assert load_suite_spec("main-tables-smoke").ann_check
+
+    def test_default_spec_produces_no_ann_rows(self, parallel_run):
+        _, result = parallel_run
+        assert result.ann_rows() == []
+        assert all("ann" not in payload for payload in result.payloads)
+
+    def test_cdrib_jobs_carry_ann_rows(self, tmp_path):
+        spec = make_spec(name="ann-check", models=["CDRIB", "BPRMF"],
+                         seeds=[0], epochs=1, ann_check=True)
+        result = run_suite(spec, str(tmp_path / "out"), jobs=1)
+        rows = result.ann_rows()
+        assert len(rows) == 1                      # CDRIB only, not baselines
+        row = rows[0]
+        assert row["model"] == "CDRIB" and row["backend"] == "ivf"
+        assert 0.0 <= row["recall_vs_exact"] <= 1.0
+        assert 1 <= row["nprobe"] <= row["num_clusters"] <= row["num_items"]
+        # The row is part of the durable result artifact (resume-safe)...
+        with open(tmp_path / "out" / "jobs" /
+                  job_key("game_video", "CDRIB", 0) / "result.json") as handle:
+            assert json.load(handle)["ann"] == row
+        # ...and a resumed suite reloads it bit for bit.
+        resumed = run_suite(spec, str(tmp_path / "out"), jobs=1)
+        assert resumed.skipped == 2
+        assert resumed.ann_rows() == rows

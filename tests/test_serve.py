@@ -370,6 +370,66 @@ class TestLRUCache:
         np.testing.assert_array_equal(hit, [2.0])
 
 
+class TestLRUCacheEvictionEdgeCases:
+    """Eviction-order corners left unpinned by the original serving PR."""
+
+    def test_overwrite_refreshes_recency_without_evicting(self):
+        # Re-putting an existing key must not push the cache over capacity
+        # (no spurious eviction) and must make that key most-recently-used.
+        cache = LRUCache(2)
+        cache.put("a", np.array([1.0]))
+        cache.put("b", np.array([2.0]))
+        cache.put("a", np.array([3.0]))     # overwrite, refresh recency
+        assert len(cache) == 2
+        assert "a" in cache and "b" in cache
+        cache.put("c", np.array([4.0]))     # evicts "b", the LRU entry
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        np.testing.assert_array_equal(cache.get("a"), [3.0])
+
+    def test_missed_get_does_not_disturb_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", np.array([1.0]))
+        cache.put("b", np.array([2.0]))
+        assert cache.get("zzz") is None     # miss must not touch the order
+        cache.put("c", np.array([3.0]))     # still evicts "a" (oldest)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_capacity_one_thrashes_correctly(self):
+        cache = LRUCache(1)
+        cache.put("a", np.array([1.0]))
+        cache.put("b", np.array([2.0]))
+        assert "a" not in cache
+        np.testing.assert_array_equal(cache.get("b"), [2.0])
+        assert len(cache) == 1
+
+    def test_interleaved_get_put_eviction_order(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, np.array([float(ord(key))]))
+        cache.get("a")                       # order now b, c, a
+        cache.put("d", np.array([4.0]))      # evicts "b"
+        cache.get("c")                       # order now a, d, c
+        cache.put("e", np.array([5.0]))      # evicts "a"
+        assert "b" not in cache and "a" not in cache
+        assert set("cde") == {k for k in "abcde" if k in cache}
+
+    def test_clear_keeps_counters_and_resets_order(self):
+        cache = LRUCache(2)
+        cache.put("a", np.array([1.0]))
+        cache.get("a")
+        cache.get("miss")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        # A post-clear fill starts a fresh eviction order.
+        cache.put("x", np.array([1.0]))
+        cache.put("y", np.array([2.0]))
+        cache.put("z", np.array([3.0]))
+        assert "x" not in cache and "y" in cache and "z" in cache
+
+
 class TestRequestBatcher:
     def test_auto_flush_on_full_batch(self, server):
         batcher = RequestBatcher(server, max_batch_size=3)
@@ -522,3 +582,61 @@ class TestRequestBatcherFlushEdgeCases:
         ticket = batcher.submit(2)
         assert ticket.done
         assert batcher.batches_flushed == 1
+
+
+class TestServerStatsContract:
+    """Pins the ServerStats / LRUCache counting contract against the
+    RequestBatcher's flush semantics (see the ServerStats docstring)."""
+
+    def _fresh(self, trained_model, small_scenario, capacity=16):
+        return ColdStartServer(trained_model, small_scenario.domain_x.name,
+                               small_scenario.domain_y.name, top_k=5,
+                               cache_capacity=capacity)
+
+    def test_requests_counts_recommend_calls_not_flushes(self, trained_model,
+                                                         small_scenario):
+        # A mixed-k flush is one batch for the batcher but one vectorized
+        # recommend call per distinct k for the server.
+        server = self._fresh(trained_model, small_scenario)
+        batcher = RequestBatcher(server, max_batch_size=100)
+        batcher.submit(1, k=3)
+        batcher.submit(2)          # default k
+        batcher.submit(3, k=3)
+        batcher.flush()
+        assert batcher.batches_flushed == 1
+        assert server.stats.requests == 2          # k=3 group + default group
+        assert server.stats.users_served == 3      # every queued slot served
+
+    def test_uniform_k_flush_is_one_request(self, trained_model, small_scenario):
+        server = self._fresh(trained_model, small_scenario)
+        batcher = RequestBatcher(server, max_batch_size=100)
+        for user in (1, 2, 3, 4):
+            batcher.submit(user)
+        batcher.flush()
+        assert batcher.batches_flushed == 1
+        assert server.stats.requests == 1
+        assert server.stats.users_served == 4
+
+    def test_cache_counts_per_lookup_including_batch_duplicates(
+            self, trained_model, small_scenario):
+        # Duplicates within one batch: each occurrence is its own cache
+        # lookup (miss), but the encoder runs once per unique user.
+        server = self._fresh(trained_model, small_scenario)
+        server.recommend([7, 7, 7, 8])
+        assert server.cache.misses == 4
+        assert server.cache.hits == 0
+        assert server.stats.users_encoded == 2
+        assert server.stats.users_served == 4
+        # The batch populated the cache, so a replay is all hits.
+        server.recommend([7, 8])
+        assert server.cache.hits == 2
+        assert server.stats.users_encoded == 2     # nothing re-encoded
+
+    def test_zero_capacity_cache_counts_every_lookup_as_miss(
+            self, trained_model, small_scenario):
+        server = self._fresh(trained_model, small_scenario, capacity=0)
+        server.recommend([1, 2])
+        server.recommend([1, 2])
+        assert server.cache.misses == 4
+        assert server.cache.hits == 0
+        assert server.stats.users_encoded == 4     # re-encoded every batch
