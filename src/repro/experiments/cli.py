@@ -12,6 +12,8 @@ Usage (after installation)::
     python -m repro.experiments.cli serve --checkpoint runs/ckpt \
         --index ivf --nprobe 32 --index-dir runs/ivf-index
     python -m repro.experiments.cli ann --num-items 60000
+    python -m repro.experiments.cli bench-serve --profile smoke \
+        --batch-sizes 8,64 --workers 1,4 --bench-json runs/BENCH_serve.json
     repro suite --spec main-tables --jobs 4 --output runs/main
     repro suite --spec my_sweep.json --jobs 2
 
@@ -48,6 +50,12 @@ EXPERIMENTS: Dict[str, str] = {
              "--index ivf serves through the approximate IVF index",
     "ann": "ANN retrieval benchmark — exact vs IVF top-K on a synthetic "
            "catalogue (recall + queries/sec; repro.serve.ann)",
+    "bench-serve": "Concurrent serving load test — N closed-loop client "
+                   "workers drive the thread-safe front-end "
+                   "(repro.serve.frontend) and record p50/p90/p99 latency, "
+                   "users/sec and cache hit rate per batch size x workers x "
+                   "nprobe configuration; --bench-json writes the "
+                   "BENCH_serve.json artifact",
     "train": "Train CDRIB with durable checkpoints (--save) and bit-exact "
              "resume (--resume)",
     "suite": "Declarative sweep over scenarios x models x seeds with parallel "
@@ -110,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--num-items", type=int, default=200_000,
                         help="synthetic catalogue size for the ann benchmark "
                              "(ann only)")
+    parser.add_argument("--workers", default="1,4",
+                        help="comma-separated concurrent client worker counts "
+                             "(bench-serve only)")
+    parser.add_argument("--requests", type=int, default=256,
+                        help="requests in the generated traffic stream "
+                             "(bench-serve only)")
+    parser.add_argument("--backends", default="exact,ivf",
+                        help="comma-separated retrieval backends to sweep "
+                             "(bench-serve only; exact and/or ivf)")
+    parser.add_argument("--nprobes", default=None,
+                        help="comma-separated IVF probe budgets to sweep "
+                             "(bench-serve only; default: the backend's own "
+                             "nprobe)")
+    parser.add_argument("--bench-json", default=None, metavar="PATH",
+                        help="write the BENCH_serve.json perf-trajectory "
+                             "artifact here (bench-serve only)")
     parser.add_argument("--spec", default="main-tables",
                         help="suite spec: a built-in name or a JSON file path "
                              "(suite only)")
@@ -136,7 +160,11 @@ def run_experiment(name: str, scenario: str, profile_name: Optional[str],
                    index_backend: str = "exact",
                    nprobe: Optional[int] = None,
                    index_dir: Optional[str] = None,
-                   num_items: int = 200_000) -> List[dict]:
+                   num_items: int = 200_000,
+                   workers: Optional[List[int]] = None,
+                   requests: int = 256,
+                   backends: Optional[List[str]] = None,
+                   nprobes: Optional[List[int]] = None) -> List[dict]:
     """Dispatch one experiment by CLI name and return its result rows."""
     if name == "serve" and checkpoint is not None:
         # Artifact serving needs no profile: the checkpoint manifest's
@@ -151,6 +179,16 @@ def run_experiment(name: str, scenario: str, profile_name: Optional[str],
         return runners.run_ann_benchmark(num_items=num_items, top_k=top_k,
                                          nprobe=nprobe)
     profile = get_profile(profile_name)
+    if name == "bench-serve":
+        from .loadgen import run_loadgen_benchmark
+
+        return run_loadgen_benchmark(
+            scenario, batch_sizes=tuple(batch_sizes or (8, 64)),
+            workers=tuple(workers or (1, 4)),
+            nprobes=tuple(nprobes) if nprobes else (None,),
+            backends=tuple(backends or ("exact", "ivf")),
+            num_requests=requests, top_k=top_k, profile=profile,
+        )
     if name == "train":
         return runners.run_training_job(
             scenario, profile=profile, epochs=epochs, engine=engine,
@@ -263,18 +301,36 @@ def save_rows(rows: List[dict], path: str) -> str:
     raise ValueError(f"unsupported output extension for {path!r} (use .csv or .json)")
 
 
+def parse_int_list(value: str, flag: str, parser: argparse.ArgumentParser
+                   ) -> List[int]:
+    """Parse a comma-separated list of positive integers for ``flag``."""
+    try:
+        numbers = [int(piece) for piece in value.split(",") if piece.strip()]
+    except ValueError:
+        parser.error(f"{flag} must be comma-separated integers, got {value!r}")
+    if not numbers or any(number < 1 for number in numbers):
+        parser.error(f"{flag} must all be >= 1, got {value!r}")
+    return numbers
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        batch_sizes = [int(piece) for piece in args.batch_sizes.split(",")
-                       if piece.strip()]
-    except ValueError:
-        parser.error(f"--batch-sizes must be comma-separated integers, "
-                     f"got {args.batch_sizes!r}")
-    if not batch_sizes or any(size < 1 for size in batch_sizes):
-        parser.error(f"--batch-sizes must all be >= 1, got {args.batch_sizes!r}")
+    batch_sizes = parse_int_list(args.batch_sizes, "--batch-sizes", parser)
+    workers = parse_int_list(args.workers, "--workers", parser)
+    nprobes = (parse_int_list(args.nprobes, "--nprobes", parser)
+               if args.nprobes is not None else None)
+    backends = [piece.strip() for piece in args.backends.split(",")
+                if piece.strip()]
+    if not backends or any(backend not in ("exact", "ivf")
+                           for backend in backends):
+        parser.error(f"--backends must be a comma-separated subset of "
+                     f"exact,ivf — got {args.backends!r}")
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    if args.bench_json is not None and args.experiment != "bench-serve":
+        parser.error("--bench-json only applies to the bench-serve experiment")
     if args.top_k < 1:
         parser.error(f"--top-k must be >= 1, got {args.top_k}")
     if args.epochs is not None and args.epochs < 1:
@@ -309,8 +365,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                           epochs=args.epochs, engine=args.engine,
                           checkpoint=args.checkpoint, num_users=args.num_users,
                           index_backend=args.index_backend, nprobe=args.nprobe,
-                          index_dir=args.index_dir, num_items=args.num_items)
+                          index_dir=args.index_dir, num_items=args.num_items,
+                          workers=workers, requests=args.requests,
+                          backends=backends, nprobes=nprobes)
     print(runners.format_rows(rows))
+    if args.bench_json:
+        from .loadgen import save_bench_serve
+
+        artifact = save_bench_serve(rows, args.bench_json, config={
+            "experiment": args.experiment,
+            "scenario": args.scenario,
+            "profile": get_profile(args.profile).name,
+            "batch_sizes": batch_sizes,
+            "workers": workers,
+            "backends": backends,
+            "nprobes": nprobes,
+            "requests": args.requests,
+            "top_k": args.top_k,
+        })
+        print(f"\nwrote BENCH_serve artifact to {artifact}")
     if args.save:
         print(f"\nsaved checkpoint to {args.save}")
     if args.output:

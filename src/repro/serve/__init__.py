@@ -16,6 +16,10 @@ into a batched serving subsystem:
   request batch) with an LRU user-latent cache and a pluggable index
   (``index_backend="exact" | "ivf"``).
 * :class:`RequestBatcher` — micro-batching queue for streaming workloads.
+* :class:`ServingFrontend` — thread-safe concurrent front-end over the
+  batcher: ``submit()`` from any thread returns a :class:`FrontendTicket`,
+  a background flusher enforces ``max_delay``, and served lists stay
+  bit-identical to the synchronous path.
 * :class:`LRUCache` — the bounded cache primitive.
 * :func:`make_index` / :func:`build_index` / :func:`save_index` /
   :func:`load_index` — the backend registry and checksummed on-disk index
@@ -40,6 +44,7 @@ from .ann import (
 )
 from .batching import PendingRequest, RequestBatcher
 from .cache import LRUCache
+from .frontend import FrontendTicket, ServingFrontend
 from .item_index import ItemIndex, TopKIndex, brute_force_ranking
 from .server import ColdStartServer, Recommendation, ServerStats
 
@@ -61,4 +66,6 @@ __all__ = [
     "ServerStats",
     "RequestBatcher",
     "PendingRequest",
+    "ServingFrontend",
+    "FrontendTicket",
 ]

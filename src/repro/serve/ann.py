@@ -249,6 +249,13 @@ class IVFIndex:
         if not np.issubdtype(queries.dtype, np.floating):
             queries = queries.astype(np.float64)
         queries = np.atleast_2d(queries)
+        # Same NaN contract as ItemIndex.top_k: a NaN query poisons every
+        # coarse and candidate score, and argpartition/lexsort misorder NaNs
+        # silently, so refuse up front (the query matrix is tiny).
+        if np.isnan(queries).any():
+            raise ValueError(
+                "top_k queries contain NaN; refusing to rank — NaN ordering "
+                "under argpartition/lexsort is silently wrong")
         batch = queries.shape[0]
         if exclude is not None and len(exclude) != batch:
             raise ValueError("exclude must hold one sequence per user")
@@ -265,7 +272,10 @@ class IVFIndex:
                 centroid_scores, c - self._nprobe, axis=1)[:, c - self._nprobe:]
 
         items = np.full((batch, k), -1, dtype=np.int64)
-        scores = np.full((batch, k), -np.inf, dtype=np.float64)
+        # Score dtype follows query/storage promotion exactly like
+        # ItemIndex.top_k: a float32 catalogue must not pay float64 buffers.
+        score_dtype = np.result_type(queries.dtype, self._storage.dtype)
+        scores = np.full((batch, k), -np.inf, dtype=score_dtype)
         offsets, storage, order = self._offsets, self._storage, self._order
         for row in range(batch):
             query = queries[row]
@@ -281,8 +291,8 @@ class IVFIndex:
             if not blocks:
                 continue
             cand_scores = np.concatenate(blocks)
-            if cand_scores.dtype != np.float64:
-                cand_scores = cand_scores.astype(np.float64)
+            if cand_scores.dtype != score_dtype:
+                cand_scores = cand_scores.astype(score_dtype)
             cand_ids = np.concatenate(id_blocks)
             if exclude is not None and len(exclude[row]):
                 keep = ~np.isin(cand_ids,
@@ -308,8 +318,11 @@ def _tie_stable_top_k(cand_scores: np.ndarray, cand_ids: np.ndarray,
     The candidate arrays are parallel (``cand_ids[i]`` is the catalogue id of
     ``cand_scores[i]``); candidate ids arrive in ascending order *within*
     each probed cell, but not globally, so the boundary tie-break sorts the
-    at-threshold candidates by catalogue id explicitly.
+    at-threshold candidates by catalogue id explicitly.  NaN candidate
+    scores (NaN item latents) are rejected, matching ``_exact_top_k``.
     """
+    if np.isnan(cand_scores).any():
+        raise ValueError("cannot rank scores containing NaN")
     m = cand_scores.shape[0]
     if k >= m:
         selected = np.arange(m)

@@ -7,10 +7,11 @@ requests and serves them in one vectorized batch, either when the queue
 reaches ``max_batch_size`` or when the caller flushes explicitly.
 
 The design is deliberately synchronous and thread-free: callers get a
-:class:`PendingRequest` ticket back, and every ticket of a batch is fulfilled
-during the same ``flush()``.  This keeps serving fully deterministic, which
-the correctness tests (serve vs. brute force) rely on; an async front-end can
-wrap ``submit``/``flush`` without changing the core.
+:class:`PendingRequest` ticket back, and every ticket of a batch is resolved
+(fulfilled or failed) during the same ``flush()``.  This keeps serving fully
+deterministic, which the correctness tests (serve vs. brute force) rely on;
+the concurrent front-end (:class:`~repro.serve.ServingFrontend`) wraps
+``submit``/``poll``/``flush`` under a lock without changing this core.
 """
 
 from __future__ import annotations
@@ -28,14 +29,31 @@ class PendingRequest:
         self.user = int(user)
         self.k = k
         self._result: Optional[Recommendation] = None
+        self._error: Optional[BaseException] = None
 
     @property
     def done(self) -> bool:
-        """Whether the batch containing this request has been flushed."""
-        return self._result is not None
+        """Whether the batch containing this request has been flushed.
+
+        True for both outcomes — fulfilled and failed; check :attr:`failed`
+        (or call :meth:`result`, which re-raises) to tell them apart.
+        """
+        return self._result is not None or self._error is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this request's serve raised instead of producing a list."""
+        return self._error is not None
 
     def result(self) -> Recommendation:
-        """Return the recommendation; raises if the batch was not flushed yet."""
+        """Return the recommendation; raises if not flushed yet or failed.
+
+        A request that failed during its flush (e.g. an out-of-range user
+        id) re-raises the original error here, on *its* caller — never on
+        the co-batched requests.
+        """
+        if self._error is not None:
+            raise self._error
         if self._result is None:
             raise RuntimeError(
                 f"request for user {self.user} is still queued; call flush() "
@@ -45,6 +63,9 @@ class PendingRequest:
 
     def _fulfill(self, recommendation: Recommendation) -> None:
         self._result = recommendation
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
 
 
 class RequestBatcher:
@@ -115,8 +136,17 @@ class RequestBatcher:
             return self.flush()
         return []
 
-    def flush(self) -> List[Recommendation]:
-        """Serve every queued request in one batched call."""
+    def flush(self) -> List[Optional[Recommendation]]:
+        """Serve every queued request in one batched call.
+
+        Every ticket of the flushed queue is resolved by the time this
+        returns: fulfilled, or — when its request raised — failed with the
+        original error attached (:meth:`PendingRequest.result` re-raises
+        it).  A poisoned batch (e.g. one out-of-range user id riding with
+        valid requests) degrades that ``k``-group to per-request serving so
+        only the offending requests fail; co-batched tickets are never
+        dropped.  Failed positions are ``None`` in the returned list.
+        """
         if not self._queue:
             return []
         queue, self._queue = self._queue, []
@@ -128,9 +158,25 @@ class RequestBatcher:
             by_k.setdefault(request.k, []).append(position)
         results: List[Optional[Recommendation]] = [None] * len(queue)
         for k, positions in by_k.items():
-            recommendations = self.server.recommend(
-                [queue[p].user for p in positions], k=k
-            )
+            try:
+                recommendations = self.server.recommend(
+                    [queue[p].user for p in positions], k=k
+                )
+            except Exception:
+                # The vectorized call is all-or-nothing: one bad request in
+                # the group raised before *any* ticket was fulfilled.  Retry
+                # per request so valid co-batched traffic is still served and
+                # only the offenders carry the error.
+                for position in positions:
+                    try:
+                        recommendation = self.server.recommend(
+                            [queue[position].user], k=k)[0]
+                    except Exception as error:
+                        queue[position]._fail(error)
+                    else:
+                        queue[position]._fulfill(recommendation)
+                        results[position] = recommendation
+                continue
             for position, recommendation in zip(positions, recommendations):
                 queue[position]._fulfill(recommendation)
                 results[position] = recommendation

@@ -51,16 +51,19 @@ class LRUCache:
     def put(self, key: Hashable, value: np.ndarray) -> None:
         """Insert ``value``, evicting the least-recently-used entry if full.
 
-        The stored entry is a *read-only* view: :meth:`get` hands the cached
-        array out by reference (copying on every hit would defeat the
-        cache), so a caller mutating a returned vector would otherwise
-        silently corrupt the latent for every future hit of that user.
+        The cache *owns* its entries: the value is copied on insert (a
+        read-only view would still alias the caller's writable base array,
+        so mutating the original after ``put`` would silently corrupt every
+        future hit) and the copy is marked read-only, because :meth:`get`
+        hands cached arrays out by reference (copying on every hit would
+        defeat the cache) and a consumer mutating a returned vector must
+        fail loudly instead of corrupting the entry in place.
         """
         if self.capacity == 0:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
-        entry = np.asarray(value).view()
+        entry = np.array(value, copy=True)
         entry.setflags(write=False)
         self._entries[key] = entry
         while len(self._entries) > self.capacity:

@@ -149,18 +149,30 @@ class ItemIndex:
         descending score, ties broken by ascending item index — identical to a
         brute-force stable full ranking.  When ``exclude`` leaves a row with
         fewer than ``k`` candidates, its trailing slots are padded with item
-        ``-1`` and score ``-inf``; excluded items are never returned.
+        ``-1`` and score ``-inf``; excluded items are never returned.  The
+        score dtype follows the query/index promotion (float32 stays
+        float32).
+
+        NaN scores are *rejected* (:class:`ValueError`) rather than ranked:
+        ``argpartition``'s boundary-threshold comparison and ``lexsort``
+        silently misorder NaNs, so a NaN in a user or item latent would
+        otherwise produce a confidently wrong list.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         score_matrix = self.scores(user_latents)
+        if np.isnan(score_matrix).any():
+            raise ValueError(
+                "top_k scores contain NaN (NaN in user or item latents?); "
+                "refusing to rank — NaN ordering under argpartition/lexsort "
+                "is silently wrong")
         batch = score_matrix.shape[0]
         if exclude is not None and len(exclude) != batch:
             raise ValueError("exclude must hold one sequence per user")
         k = min(k, self.num_items)
 
         items = np.empty((batch, k), dtype=np.int64)
-        scores = np.empty((batch, k), dtype=np.float64)
+        scores = np.empty((batch, k), dtype=score_matrix.dtype)
         for row in range(batch):
             row_scores = score_matrix[row]
             banned = None
@@ -204,7 +216,14 @@ def _exact_top_k(scores: np.ndarray, k: int) -> np.ndarray:
     threshold is kept, and the remaining slots are filled with the
     lowest-indexed items *at* the threshold (``np.where`` returns indices in
     ascending order).  The selected set is then ordered by (-score, index).
+
+    NaN scores are rejected: a NaN threshold makes both boundary comparisons
+    (``>`` and ``==``) vacuously false, silently shrinking the selection,
+    and ``lexsort`` orders NaNs arbitrarily — the contract (pinned by
+    ``tests/test_serve.py``) is to raise instead.
     """
+    if np.isnan(scores).any():
+        raise ValueError("cannot rank scores containing NaN")
     n = scores.shape[0]
     if k >= n:
         selected = np.arange(n)

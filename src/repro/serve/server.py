@@ -155,7 +155,11 @@ class ColdStartServer:
                 f"user index out of range for source domain {self.source!r} "
                 f"(num_users={self._source_graph.num_users})"
             )
-        latents = np.empty((users.shape[0], self.index.dim), dtype=np.float64)
+        # Follow the index's floating dtype: a float32 checkpoint must serve
+        # float32 end-to-end (hardcoding float64 here would silently double
+        # the latent-buffer and cache memory on the hot path).
+        latents = np.empty((users.shape[0], self.index.dim),
+                           dtype=self.index.item_latents.dtype)
         miss_positions: List[int] = []
         for position, user in enumerate(users):
             cached = self.cache.get(int(user))
@@ -168,14 +172,16 @@ class ColdStartServer:
             # One vectorized VBGE pass covers every miss; duplicate users in
             # one batch are encoded once.
             unique_users, inverse = np.unique(miss_users, return_inverse=True)
-            encoded = self.model.encode_users_batch(self.source, unique_users)
+            encoded = np.asarray(
+                self.model.encode_users_batch(self.source, unique_users),
+                dtype=latents.dtype)
             self.stats.users_encoded += int(unique_users.shape[0])
             for offset, position in enumerate(miss_positions):
                 latents[position] = encoded[inverse[offset]]
             for row, user in zip(encoded, unique_users):
-                # Copy: caching a view would pin the whole batch array in
-                # memory for as long as any one of its rows stays cached.
-                self.cache.put(int(user), row.copy())
+                # put() copies on insert, so the batch array is never pinned
+                # by a cached row and callers cannot alias cache entries.
+                self.cache.put(int(user), row)
         return latents
 
     def refresh(self) -> None:
@@ -223,9 +229,19 @@ class ColdStartServer:
 
         Allows plugging the server (with its caches) straight into
         :class:`~repro.eval.LeaveOneOutEvaluator`.
+
+        Item indices are validated: a stray ``-1`` (the padding value of
+        :meth:`TopKIndex.top_k`) would otherwise wrap to the *last* catalogue
+        item via fancy indexing and return a confidently wrong score.
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
+        if items.size and (items.min() < 0 or items.max() >= self.index.num_items):
+            raise ValueError(
+                f"item index out of range for target domain {self.target!r} "
+                f"(num_items={self.index.num_items}); got values in "
+                f"[{items.min()}, {items.max()}] — is a -1 padding sentinel "
+                f"leaking into score_pairs?")
         unique_users, inverse = np.unique(users, return_inverse=True)
         latents = self.user_latents(unique_users)[inverse]
         return np.sum(latents * self.index.item_latents[items], axis=-1)

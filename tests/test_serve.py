@@ -179,6 +179,102 @@ class TestItemIndexDtype:
             )
 
 
+class TestFloat32EndToEnd:
+    """A float32 checkpoint must serve float32 end-to-end (no silent upcast
+    doubling latent-buffer / cache memory on the hot path)."""
+
+    def test_top_k_score_buffer_follows_dtype(self, rng):
+        latents = rng.standard_normal((30, 8)).astype(np.float32)
+        index = ItemIndex(latents)
+        items, scores = index.top_k(latents[:4], k=5)
+        assert scores.dtype == np.float32
+        # With exclusion padding the dtype must survive the -inf sentinel.
+        items, scores = index.top_k(latents[:1], k=5, exclude=[[0, 1]])
+        assert scores.dtype == np.float32
+
+    def test_server_latents_and_scores_follow_index_dtype(
+            self, trained_model, small_scenario, monkeypatch):
+        server = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                 small_scenario.domain_y.name, top_k=5,
+                                 cache_capacity=16)
+        server.index = ItemIndex(server.index.item_latents.astype(np.float32),
+                                 server.index.domain)
+        original = trained_model.encode_users_batch
+
+        def encode_f32(domain, indices=None):
+            return original(domain, indices).astype(np.float32)
+
+        monkeypatch.setattr(trained_model, "encode_users_batch", encode_f32)
+        latents = server.user_latents([0, 1, 2])
+        assert latents.dtype == np.float32
+        rec = server.recommend_one(3)
+        assert rec.scores.dtype == np.float32
+        # Cache entries must be float32 too (the memory the bug doubled),
+        # and a cache-hit replay must stay float32.
+        assert server.cache.get(0).dtype == np.float32
+        assert server.user_latents([0, 3]).dtype == np.float32
+
+    def test_float64_encoder_downcast_to_float32_index(
+            self, trained_model, small_scenario):
+        # Even without patching the encoder (which emits float64), a float32
+        # index must pull the serve path down to float32, not up to float64.
+        server = ColdStartServer(trained_model, small_scenario.domain_x.name,
+                                 small_scenario.domain_y.name, top_k=5,
+                                 cache_capacity=16)
+        server.index = ItemIndex(server.index.item_latents.astype(np.float32),
+                                 server.index.domain)
+        assert server.user_latents([1, 2]).dtype == np.float32
+        assert server.cache.get(1).dtype == np.float32
+        assert server.recommend_one(1).scores.dtype == np.float32
+
+
+class TestNaNScoreContract:
+    """NaN scores must be rejected, never silently misordered (argpartition's
+    boundary threshold and lexsort both mishandle NaN)."""
+
+    def test_nan_user_latent_rejected(self, rng):
+        index = ItemIndex(rng.standard_normal((20, 4)))
+        query = rng.standard_normal((2, 4))
+        query[1, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            index.top_k(query, k=3)
+
+    def test_nan_item_latent_rejected(self, rng):
+        latents = rng.standard_normal((20, 4))
+        latents[7, 0] = np.nan
+        index = ItemIndex(latents)
+        with pytest.raises(ValueError, match="NaN"):
+            index.top_k(rng.standard_normal((1, 4)), k=3)
+
+    def test_nan_rejected_at_tie_boundary(self):
+        # The silent failure mode: a NaN threshold at the K-th boundary makes
+        # both boundary comparisons vacuously false.  k=2 over 4 items puts
+        # the NaN inside the partition; pre-fix this returned a wrong-shaped
+        # or wrongly-ordered selection instead of raising.
+        from repro.serve.item_index import _exact_top_k
+
+        scores = np.array([1.0, np.nan, 0.5, 2.0])
+        with pytest.raises(ValueError, match="NaN"):
+            _exact_top_k(scores, 2)
+
+    def test_ivf_rejects_nan_queries(self, rng):
+        from repro.serve import IVFIndex
+
+        index = IVFIndex(rng.standard_normal((64, 4)), num_clusters=4)
+        query = rng.standard_normal((1, 4))
+        query[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            index.top_k(query, k=3)
+
+    def test_scores_without_top_k_still_allowed(self, rng):
+        # The contract is on *ranking*: raw score matrices may carry NaN
+        # (callers like diagnostics can inspect them), only top_k refuses.
+        latents = rng.standard_normal((10, 4))
+        latents[3, 1] = np.nan
+        assert np.isnan(ItemIndex(latents).scores(
+            rng.standard_normal((1, 4)))).any()
+
+
 class TestColdStartServer:
     def test_recommend_trims_exclusion_padding(self, small_scenario):
         # In-domain serving with exclude_seen: a user whose history leaves
@@ -287,6 +383,19 @@ class TestColdStartServer:
         np.testing.assert_allclose(server.score_pairs(users, items), reference,
                                    rtol=1e-12, atol=1e-12)
 
+    def test_score_pairs_rejects_out_of_range_items(self, server):
+        """Fancy-indexing regression: a -1 (the top_k padding sentinel) used
+        to wrap to the *last* catalogue item and return a confidently wrong
+        score; it must raise instead."""
+        num_items = server.index.num_items
+        with pytest.raises(ValueError, match="item index out of range"):
+            server.score_pairs([0, 1], [0, -1])
+        with pytest.raises(ValueError, match="item index out of range"):
+            server.score_pairs([0], [num_items])
+        # In-range traffic is unaffected, including the boundary item.
+        scores = server.score_pairs([0], [num_items - 1])
+        assert np.isfinite(scores).all()
+
 
 class TestMetricsConsistency:
     """Served positions must agree with ``eval.metrics.rank_of_positive``."""
@@ -350,6 +459,27 @@ class TestLRUCache:
     def test_negative_capacity_raises(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_put_copies_instead_of_aliasing(self):
+        """Aliasing regression: put() must own a copy — a read-only view
+        still shares memory with the caller's writable base array, so
+        mutating the original after put() silently corrupted future hits."""
+        cache = LRUCache(4)
+        value = np.array([1.0, 2.0, 3.0])
+        cache.put("u", value)
+        value[0] = 99.0                      # caller reuses its buffer
+        np.testing.assert_array_equal(cache.get("u"), [1.0, 2.0, 3.0])
+
+    def test_put_does_not_alias_row_views(self):
+        # The serving pattern: rows of a batch-encode result are put() one
+        # by one; mutating the batch array afterwards must not reach cache.
+        cache = LRUCache(4)
+        batch = np.arange(6, dtype=np.float64).reshape(2, 3)
+        cache.put(0, batch[0])
+        cache.put(1, batch[1])
+        batch[:] = -1.0
+        np.testing.assert_array_equal(cache.get(0), [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(cache.get(1), [3.0, 4.0, 5.0])
 
     def test_entries_are_read_only(self):
         """Mutation regression: a caller writing to a returned latent must
@@ -474,6 +604,60 @@ class TestRequestBatcher:
     def test_bad_batch_size(self, server):
         with pytest.raises(ValueError):
             RequestBatcher(server, max_batch_size=0)
+
+
+class TestRequestBatcherPoisonedBatch:
+    """Batch-poisoning regression: one bad request used to raise out of
+    flush() *after* the queue swap, permanently stranding every co-batched
+    ticket (never fulfilled, never failed, no longer queued)."""
+
+    def test_bad_user_fails_only_its_own_ticket(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        good_before = batcher.submit(1)
+        poison = batcher.submit(10**9)        # out of range for the source
+        good_after = batcher.submit(2)
+        results = batcher.flush()
+        assert len(batcher) == 0
+        assert good_before.done and good_after.done and poison.done
+        assert poison.failed and not good_before.failed
+        with pytest.raises(ValueError):
+            poison.result()
+        # Valid co-batched traffic is served with correct lists.
+        for ticket in (good_before, good_after):
+            direct = server.recommend([ticket.user])[0]
+            assert np.array_equal(ticket.result().items, direct.items)
+        # The returned list mirrors ticket outcomes positionally.
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+
+    def test_poison_in_one_k_group_spares_other_groups(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        clean_group = batcher.submit(3, k=4)
+        poisoned_group = batcher.submit(10**9, k=7)
+        victim = batcher.submit(5, k=7)
+        batcher.flush()
+        assert len(clean_group.result()) == 4
+        assert poisoned_group.failed
+        assert not victim.failed and len(victim.result()) == 7
+
+    def test_all_good_batch_unaffected(self, server):
+        # The recovery path must not kick in for healthy batches: one
+        # vectorized recommend per k-group, exactly as before.
+        before = server.stats.requests
+        batcher = RequestBatcher(server, max_batch_size=100)
+        tickets = [batcher.submit(u) for u in (1, 2, 3)]
+        batcher.flush()
+        assert server.stats.requests == before + 1
+        assert all(t.done and not t.failed for t in tickets)
+
+    def test_failed_ticket_reports_done_but_failed(self, server):
+        batcher = RequestBatcher(server, max_batch_size=100)
+        ticket = batcher.submit(-5)
+        assert not ticket.done
+        batcher.flush()
+        assert ticket.done and ticket.failed
+        with pytest.raises(ValueError):
+            ticket.result()
 
 
 class _FakeClock:

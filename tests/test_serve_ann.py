@@ -188,10 +188,14 @@ class TestIVFIndex:
             index = make_index(catalog.astype(np.float32), backend=backend)
             assert index.item_latents.dtype == np.float32
             assert index.scores(queries[:2].astype(np.float32)).dtype == np.float32
-            # top_k scores stay float64 (the retrieval contract), items int64.
+            # top_k scores follow the query/catalogue promotion: a float32
+            # serve path stays float32 end-to-end, items stay int64.
             items, scores = index.top_k(queries[:2].astype(np.float32), 5)
             assert items.dtype == np.int64
-            assert scores.dtype == np.float64
+            assert scores.dtype == np.float32
+            # A float64 query against a float32 catalogue promotes to float64.
+            _, scores64 = index.top_k(queries[:2].astype(np.float64), 5)
+            assert scores64.dtype == np.float64
 
     def test_integer_latents_become_float64(self):
         index = IVFIndex(np.arange(60).reshape(20, 3), num_clusters=4)
